@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+All benchmarks share one session-scoped :class:`~repro.sim.Runner`, so
+profiling work (cache replays, compression measurement) is done once per
+(app, input, preprocessing) and reused by every figure that needs it —
+exactly how the paper's figures share one set of simulations.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import ExperimentResult, render_table, save_table
+from repro.sim import Runner
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a result table and save it under benchmarks/results/."""
+
+    def _report(result: ExperimentResult) -> ExperimentResult:
+        text = render_table(result)
+        print()
+        print(text)
+        save_table(result, RESULTS_DIR)
+        return result
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Author DCL programs as text and run them on the engines.
+
+The Dataflow Configuration Language is SpZip's hardware/software
+interface.  This example writes two programs in the textual DCL —
+a compressed-graph traversal (fetcher) and a sorted single-stream
+compressor — parses them, validates them against the engine's resource
+limits, and runs both.
+
+Run:  python examples/dcl_text_programs.py
+"""
+
+import numpy as np
+
+from repro.compression import DeltaCodec
+from repro.config import SpZipConfig
+from repro.dcl import pack_range, parse_dcl
+from repro.engine import Compressor, Fetcher, drive
+from repro.graph import CompressedCsr, community_graph
+from repro.memory import AddressSpace
+
+TRAVERSAL_DCL = """
+# Fig 3: traverse a CSR whose rows are delta-compressed.
+queue input elem=8
+queue offsetsQ elem=8
+queue crows elem=1
+queue rows elem=4
+range fetch_offsets input -> offsetsQ base=offsets elem=8 nomarkers
+range fetch_payload offsetsQ -> crows base=payload elem=1 boundaries
+decompress dec crows -> rows codec=delta
+"""
+
+COMPRESS_DCL = """
+# Fig 13: compress one order-insensitive stream, 32-element chunks.
+queue input elem=4
+queue payload elem=1
+compress comp input -> payload codec=delta chunk=32 sort
+streamwrite writer payload base=outbuf cap=65536
+"""
+
+
+def run_traversal():
+    graph = community_graph(64, 400, seed_stream="dcl-example")
+    compressed = CompressedCsr(graph)
+    space = AddressSpace()
+    space.alloc_array("offsets", compressed.offsets, "adjacency")
+    space.alloc_array("payload",
+                      np.frombuffer(compressed.payload, dtype=np.uint8),
+                      "adjacency")
+    program = parse_dcl(TRAVERSAL_DCL)
+    print(f"traversal program: {len(program.operators)} operators, "
+          f"{len(program.queues)} queues "
+          f"(inputs={program.input_queues()}, "
+          f"outputs={program.output_queues()})")
+    fetcher = Fetcher(SpZipConfig(), space)
+    fetcher.load_program(program)
+    result = drive(fetcher,
+                   feeds={"input": [pack_range(0,
+                                               graph.num_vertices + 1)]},
+                   consume=["rows"])
+    rows = result.chunks("rows")
+    assert all(rows[v] == graph.row(v).tolist()
+               for v in range(graph.num_vertices))
+    print(f"traversed {graph.num_edges} edges in {result.cycles} "
+          f"cycles; rows verified\n")
+
+
+def run_compressor():
+    rng = np.random.default_rng(7)
+    values = rng.integers(0, 50_000, 256, dtype=np.uint64).tolist()
+    space = AddressSpace()
+    space.alloc("outbuf", 65536, "updates")
+    program = parse_dcl(COMPRESS_DCL)
+    compressor = Compressor(SpZipConfig(), space)
+    compressor.load_program(program)
+    feed = [(v, False) for v in values] + [(0, True)]
+    drive(compressor, feeds={"input": feed}, consume=[])
+    writer = next(op for op in compressor.operators
+                  if op.name == "writer")
+    print(f"compressor wrote {writer.total_written} B for "
+          f"{len(values) * 4} B of input "
+          f"({len(values) * 4 / writer.total_written:.2f}x) across "
+          f"{len(writer.chunk_lengths)} chunks")
+    # Decode it back: each chunk is a sorted run of the original values.
+    base = space.region("outbuf").base
+    decoded = []
+    offset = 0
+    for length in writer.chunk_lengths:
+        payload = space.load(base + offset, length)
+        decoded.extend(DeltaCodec().decode_stream(payload,
+                                                  np.uint32).tolist())
+        offset += length
+    assert sorted(decoded) == sorted(values)
+    print("decoded payload matches the input multiset")
+
+
+if __name__ == "__main__":
+    run_traversal()
+    run_compressor()

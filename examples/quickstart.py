@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: traverse a compressed graph with the SpZip fetcher.
+
+This walks the paper's Fig 1-3 story end to end:
+
+1. build a small sparse graph in CSR form;
+2. entropy-compress its neighbour sets (delta byte codes);
+3. load the Fig 3 DCL pipeline into a SpZip fetcher;
+4. let the fetcher traverse + decompress decoupled from the "core",
+   and read the rows back through marker-delimited queues.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.config import SpZipConfig
+from repro.dcl import pack_range
+from repro.engine import (
+    INPUT_QUEUE,
+    ROWS_QUEUE,
+    Fetcher,
+    compressed_csr_traversal,
+    drive,
+)
+from repro.graph import CompressedCsr, CsrGraph
+from repro.memory import AddressSpace
+
+
+def main():
+    # The adjacency matrix of the paper's Fig 1 / Fig 4.
+    graph = CsrGraph(
+        offsets=np.array([0, 2, 4, 5, 7]),
+        neighbors=np.array([1, 2, 0, 2, 3, 1, 2], dtype=np.uint32),
+    )
+    print(f"graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+
+    # Compress each neighbour set with delta byte codes (Ligra+ format).
+    compressed = CompressedCsr(graph)
+    print(f"adjacency: {graph.num_edges * 4} B raw -> "
+          f"{compressed.payload_bytes} B compressed "
+          f"({compressed.compression_ratio():.2f}x)")
+
+    # Lay the structure out in the (virtual) address space the engine
+    # sees, tagging each region with its traffic class.
+    space = AddressSpace()
+    space.alloc_array("offsets", compressed.offsets, "adjacency")
+    space.alloc_array("payload",
+                      np.frombuffer(compressed.payload, dtype=np.uint8),
+                      "adjacency")
+
+    # Fig 3's DCL pipeline: offsets -> compressed rows -> decompressor.
+    fetcher = Fetcher(SpZipConfig(), space)
+    fetcher.load_program(compressed_csr_traversal())
+
+    # The core enqueues one range covering all rows, then dequeues
+    # marker-delimited neighbour sets while the fetcher runs ahead.
+    result = drive(fetcher,
+                   feeds={INPUT_QUEUE: [pack_range(0,
+                                                   graph.num_vertices
+                                                   + 1)]},
+                   consume=[ROWS_QUEUE])
+    print(f"traversal took {result.cycles} engine cycles")
+    for vertex, row in enumerate(result.chunks(ROWS_QUEUE)):
+        assert row == graph.row(vertex).tolist()
+        print(f"  row {vertex}: {row}")
+    print("fetcher output matches the uncompressed graph — success")
+
+
+if __name__ == "__main__":
+    main()

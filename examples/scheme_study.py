@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Scheme study: compare Push / UB / PHI with and without SpZip.
+
+A miniature of the paper's Fig 15 on one application and input: simulate
+all six execution strategies on the scaled uk-2005 stand-in, with and
+without DFS preprocessing, and print speedups plus the traffic breakdown
+by data type.
+
+Run:  python examples/scheme_study.py [app] [dataset]
+      (defaults: bfs ukl; apps: pr prd cc re dc bfs sp)
+"""
+
+import sys
+
+from repro.runtime.strategies import SCHEMES
+from repro.sim import Runner
+
+
+def show(runner, app, dataset, preprocessing):
+    print(f"\n--- {app} on {dataset} "
+          f"({preprocessing} preprocessing) ---")
+    runs = {s: runner.run(app, s, dataset, preprocessing)
+            for s in SCHEMES}
+    base = runs["push"]
+    header = (f"{'scheme':12s} {'speedup':>8s} {'traffic':>8s} "
+              f"{'adj':>6s} {'src':>6s} {'dst':>6s} {'upd':>6s} bound")
+    print(header)
+    for scheme, run in runs.items():
+        b = run.normalized_breakdown(base)
+        bound = "memory" if run.bandwidth_bound else "core"
+        print(f"{scheme:12s} {run.speedup_over(base):8.2f} "
+              f"{run.traffic_ratio_over(base):8.2f} "
+              f"{b['adjacency']:6.2f} {b['source_vertex']:6.2f} "
+              f"{b['destination_vertex']:6.2f} {b['updates']:6.2f} "
+              f"{bound}")
+
+
+def main():
+    app = sys.argv[1] if len(sys.argv) > 1 else "bfs"
+    dataset = sys.argv[2] if len(sys.argv) > 2 else "ukl"
+    if app == "sp":
+        dataset = "nlp"
+    runner = Runner()
+    show(runner, app, dataset, "none")
+    show(runner, app, dataset, "dfs")
+    print("\nReading the table: without preprocessing, scattered "
+          "destination updates dominate Push and compression barely "
+          "helps it; batching (UB/PHI) turns traffic into sequential "
+          "updates that SpZip compresses well.  With preprocessing, "
+          "Push gets locality, UB's streamed updates become waste, and "
+          "the now-compressible adjacency matrix is the main prize.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Applications: the paper's seven benchmarks (Sec IV).
+
+All-active: PageRank (pr), Degree Counting (dc), SpMV (sp).
+Non-all-active: PageRank-Delta (prd), BFS (bfs), Connected Components
+(cc), Radii Estimation (re).
+
+Each module exposes ``reference(...)`` (the verified algorithm) and
+``build_workload(...)`` (the recorded execution the strategy models
+re-cost).  ``build_workload(name, graph_or_scale)`` dispatches by the
+paper's short app names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps import (
+    bfs,
+    connected_components,
+    degree_count,
+    pagerank,
+    pagerank_delta,
+    radii,
+    spmv,
+)
+from repro.graph.csr import CsrGraph
+from repro.runtime.workload import Workload
+
+#: Paper app names, in Fig 15's order.
+GRAPH_APPS = ("pr", "prd", "cc", "re", "dc", "bfs")
+ALL_APPS = GRAPH_APPS + ("sp",)
+
+_BUILDERS = {
+    "pr": pagerank.build_workload,
+    "prd": pagerank_delta.build_workload,
+    "cc": connected_components.build_workload,
+    "re": radii.build_workload,
+    "dc": degree_count.build_workload,
+    "bfs": bfs.build_workload,
+}
+
+
+def build_workload(app: str, graph: Optional[CsrGraph] = None,
+                   scale: Optional[int] = None) -> Workload:
+    """Build the named app's workload.
+
+    Graph apps take a ``graph``; ``sp`` takes the dataset ``scale`` and
+    loads its Table III matrix.
+    """
+    if app == "sp":
+        if scale is None:
+            raise ValueError("sp needs the dataset scale")
+        workload, _x = spmv.make_workload_from_dataset(scale)
+        return workload
+    if app not in _BUILDERS:
+        raise KeyError(f"unknown app {app!r}; have {sorted(ALL_APPS)}")
+    if graph is None:
+        raise ValueError(f"{app} needs a graph")
+    return _BUILDERS[app](graph)
+
+
+__all__ = [
+    "ALL_APPS",
+    "GRAPH_APPS",
+    "bfs",
+    "build_workload",
+    "connected_components",
+    "degree_count",
+    "pagerank",
+    "pagerank_delta",
+    "radii",
+    "spmv",
+]

@@ -1,0 +1,86 @@
+"""Breadth-First Search (BFS) — non-all-active (paper Listing 2, Sec IV).
+
+Level-synchronous Push BFS from a root: each iteration's frontier pushes
+to unvisited out-neighbours.  Per the paper's footnote to Fig 7, the
+evaluated variant *builds the BFS tree*, so it reads source vertex data
+and its update payload is the parent id — a vertex id, which compresses
+when the graph has id locality.
+
+The workload records the real frontier of every level, capturing the
+frontier-size ramp that drives BFS's distinctive traffic profile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.runtime.workload import Iteration, Workload
+
+UNVISITED = np.uint32(0xFFFFFFFF)
+
+
+def reference(graph: CsrGraph,
+              root: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Distances and parents from ``root`` (default: max out-degree)."""
+    n = graph.num_vertices
+    if root is None:
+        root = int(graph.out_degrees().argmax())
+    dists = np.full(n, UNVISITED, dtype=np.uint32)
+    parents = np.full(n, UNVISITED, dtype=np.uint32)
+    dists[root] = 0
+    parents[root] = root
+    frontier = np.array([root], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        dsts = np.concatenate([graph.row(int(v)) for v in frontier]) \
+            if frontier.size else np.empty(0, dtype=np.uint32)
+        srcs = np.repeat(frontier, graph.out_degrees()[frontier])
+        fresh = dists[dsts] == UNVISITED
+        # First writer wins (serial semantics; parallel would be any-wins).
+        order = np.flatnonzero(fresh)
+        next_mask = np.zeros(n, dtype=bool)
+        for idx in order.tolist():
+            dst = int(dsts[idx])
+            if dists[dst] == UNVISITED:
+                dists[dst] = level
+                parents[dst] = srcs[idx]
+                next_mask[dst] = True
+        frontier = np.flatnonzero(next_mask).astype(np.int64)
+    return dists, parents
+
+
+def build_workload(graph: CsrGraph,
+                   root: Optional[int] = None) -> Workload:
+    n = graph.num_vertices
+    if root is None:
+        root = int(graph.out_degrees().argmax())
+    dists = np.full(n, UNVISITED, dtype=np.uint32)
+    dists[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    iterations = []
+    level = 0
+    degrees = graph.out_degrees()
+    while frontier.size:
+        level += 1
+        srcs = np.repeat(frontier, degrees[frontier])
+        dsts = np.concatenate([graph.row(int(v)) for v in frontier]) \
+            if frontier.size else np.empty(0, dtype=np.uint32)
+        iterations.append(Iteration(
+            sources=frontier.copy(),
+            src_values=dists[frontier].copy(),
+            update_values=srcs.astype(np.uint32),  # parent ids
+            weight=1.0, index=level - 1,
+        ))
+        fresh_ids = np.unique(dsts[dists[dsts] == UNVISITED])
+        dists[fresh_ids] = level
+        frontier = fresh_ids.astype(np.int64)
+        frontier.sort()
+    _dists, parents = dists, None
+    return Workload(app="bfs", graph=graph, iterations=iterations,
+                    dst_value_bytes=4, src_value_bytes=4, update_bytes=8,
+                    frontier_based=True, dst_values=dists,
+                    extras={"levels": level})

@@ -1,0 +1,68 @@
+"""Connected Components (CC) — non-all-active label propagation.
+
+Classic Ligra-style CC: every vertex starts in its own component; active
+vertices push their component id to out-neighbours, which keep the
+minimum (treating the graph as symmetric for connectivity, as Ligra
+does).  A vertex stays active while its label keeps changing, so the
+frontier starts all-active and decays — the mix the paper's CC numbers
+reflect.  Update payloads are component ids (vertex ids), which compress
+with graph id locality; the paper's order-insensitive sorting experiment
+(Sec V-C) uses CC updates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.runtime.workload import Iteration, Workload, sample_iterations
+
+
+def _symmetric_edges(graph: CsrGraph) -> Tuple[np.ndarray, np.ndarray]:
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64),
+                    graph.out_degrees())
+    dst = graph.neighbors.astype(np.int64)
+    return np.concatenate([src, dst]), np.concatenate([dst, src])
+
+
+def reference(graph: CsrGraph, max_iterations: int = 200) -> np.ndarray:
+    """Component labels (min vertex id in each component)."""
+    labels, _ = _run(graph, max_iterations)
+    return labels
+
+
+def _run(graph: CsrGraph, max_iterations: int):
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=np.uint32)
+    sym_src, sym_dst = _symmetric_edges(graph)
+    active_mask = np.ones(n, dtype=bool)
+    history: List[Tuple[np.ndarray, np.ndarray]] = []
+    for _ in range(max_iterations):
+        active = np.flatnonzero(active_mask).astype(np.int64)
+        if active.size == 0:
+            break
+        history.append((active, labels[active].copy()))
+        live = active_mask[sym_src]
+        new_labels = labels.copy()
+        np.minimum.at(new_labels, sym_dst[live], labels[sym_src[live]])
+        active_mask = new_labels < labels
+        labels = new_labels
+    return labels, history
+
+
+def build_workload(graph: CsrGraph, max_iterations: int = 200) -> Workload:
+    labels, history = _run(graph, max_iterations)
+    degrees = graph.out_degrees()
+    iterations = []
+    for index, (active, active_labels) in enumerate(history):
+        update_values = np.repeat(active_labels, degrees[active])
+        iterations.append(Iteration(sources=active,
+                                    src_values=active_labels,
+                                    update_values=update_values,
+                                    weight=1.0, index=index))
+    return Workload(app="cc", graph=graph,
+                    iterations=sample_iterations(iterations),
+                    dst_value_bytes=4, src_value_bytes=4, update_bytes=8,
+                    frontier_based=True, dst_values=labels)

@@ -1,0 +1,35 @@
+"""Degree Counting (DC) — all-active, single pass (paper Sec IV).
+
+DC "computes the incoming degree of each vertex and is often used in
+graph construction": every edge pushes ``+1`` to its destination.  The
+update payload is a constant, so DC's binned updates are the most
+compressible of any application — the paper sees its largest compression
+wins here (up to 7.2x traffic reduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.runtime.workload import Iteration, Workload
+
+
+def reference(graph: CsrGraph) -> np.ndarray:
+    """Incoming degree of each vertex."""
+    return np.bincount(graph.neighbors,
+                       minlength=graph.num_vertices).astype(np.uint32)
+
+
+def build_workload(graph: CsrGraph) -> Workload:
+    n = graph.num_vertices
+    sources = np.arange(n, dtype=np.int64)
+    # DC reads no per-source data; the update payload is the constant 1.
+    update_values = np.ones(graph.num_edges, dtype=np.uint32)
+    iteration = Iteration(sources=sources,
+                          src_values=np.empty(0, dtype=np.uint32),
+                          update_values=update_values,
+                          weight=1.0, index=0)
+    return Workload(app="dc", graph=graph, iterations=[iteration],
+                    dst_value_bytes=4, src_value_bytes=0, update_bytes=8,
+                    frontier_based=False, dst_values=reference(graph))

@@ -1,0 +1,67 @@
+"""Sparse Matrix-Vector multiplication (SP) — the linear-algebra kernel.
+
+``y = A x`` in Push (column-at-a-time) form: every nonzero ``A[r, c]``
+pushes ``A[r, c] * x[c]`` to ``y[r]``.  Unlike the graph applications,
+the adjacency traffic includes the 8-byte nonzero *values* alongside the
+column coordinates, and the input (an nlpkkt240 stand-in, banded FEM/KKT
+structure) is far more regular — which is why the paper finds
+compression already effective on SP without preprocessing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.runtime.workload import Iteration, Workload
+from repro.sparse.matrix import SparseMatrix
+
+
+def reference(matrix: SparseMatrix, x: np.ndarray) -> np.ndarray:
+    """Ground-truth SpMV."""
+    return matrix.multiply(x)
+
+
+def reference_push(matrix: SparseMatrix, x: np.ndarray) -> np.ndarray:
+    """Push-form SpMV: ``y = A^T x`` (the scatter kernel we model).
+
+    Push (source-stationary) SpMV walks the stored rows and scatters
+    ``A[r, c] * x[r]`` into ``y[c]`` — computing ``A^T x`` over a CSR
+    matrix, exactly as a CSC traversal computes ``A x``.  Our nlp
+    stand-in is structurally symmetric, so the access pattern matches
+    either orientation.
+    """
+    graph = matrix.graph
+    row_ids = np.repeat(np.arange(graph.num_vertices),
+                        graph.out_degrees())
+    y = np.zeros(graph.num_vertices, dtype=np.float64)
+    np.add.at(y, graph.neighbors, matrix.values * x[row_ids])
+    return y
+
+
+def build_workload(matrix: SparseMatrix, x: np.ndarray) -> Workload:
+    graph = matrix.graph
+    n = graph.num_vertices
+    sources = np.arange(n, dtype=np.int64)
+    row_ids = np.repeat(np.arange(n), graph.out_degrees())
+    # Push form: row r scatters value * x[r] to each stored column.
+    products = matrix.values * x[row_ids]
+    iteration = Iteration(sources=sources,
+                          src_values=x.astype(np.float64),
+                          update_values=products.astype(np.float64),
+                          weight=1.0, index=0)
+    y = reference_push(matrix, x)
+    return Workload(app="sp", graph=graph, iterations=[iteration],
+                    dst_value_bytes=8, src_value_bytes=8, update_bytes=12,
+                    frontier_based=False, dst_values=y,
+                    extras={"edge_value_bytes": 8,
+                            "edge_values": matrix.values})
+
+
+def make_workload_from_dataset(scale: int) -> Tuple[Workload, np.ndarray]:
+    """Convenience: SP workload on the Table III nlp stand-in."""
+    from repro.sparse.matrix import make_spmv_input
+    matrix, x = make_spmv_input(scale)
+    return build_workload(matrix, x), x

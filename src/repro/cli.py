@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``experiment <id> [--scale N]``
+    Run one registered experiment (``fig07`` ... ``fig22``, ``table1``
+    ... ``table3``, ``sorting``) and print its table.
+
+``list``
+    List available experiments, applications, datasets, schemes, codecs.
+
+``simulate --app A --scheme S --dataset D [--preprocessing P]``
+    Simulate one configuration and print its metrics.
+
+``compress --codec C [--data kind]``
+    Demonstrate a codec on a chosen synthetic data distribution.
+
+``traverse [--dataset D] [--rows N]``
+    Run the functional fetcher over a compressed graph and report cycles
+    and verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_list(_args) -> int:
+    from repro.apps import ALL_APPS
+    from repro.compression import available_codecs
+    from repro.graph.datasets import DATASETS
+    from repro.harness import EXPERIMENTS
+    from repro.runtime.strategies import CMH_SCHEMES, EXTRA_SCHEMES, \
+        SCHEMES
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("apps:       ", ", ".join(ALL_APPS))
+    print("datasets:   ", ", ".join(sorted(DATASETS)))
+    print("schemes:    ", ", ".join(SCHEMES + CMH_SCHEMES
+                                    + EXTRA_SCHEMES))
+    print("codecs:     ", ", ".join(available_codecs()))
+    print("preprocess: ", "none, natural, degree, bfs, dfs, gorder")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.harness import EXPERIMENTS, render_table
+    from repro.sim import Runner
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; try `python -m repro "
+              f"list`", file=sys.stderr)
+        return 2
+    runner = Runner(scale=args.scale)
+    result = EXPERIMENTS[args.id](runner)
+    print(render_table(result))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim import Runner
+    runner = Runner(scale=args.scale)
+    run = runner.run(args.app, args.scheme, args.dataset,
+                     args.preprocessing)
+    base = runner.run(args.app, "push", args.dataset, args.preprocessing)
+    print(f"app={run.app} scheme={run.scheme} dataset={run.dataset} "
+          f"preprocessing={run.preprocessing}")
+    print(f"cycles:         {run.cycles:.0f} "
+          f"(compute {run.compute_cycles:.0f}, "
+          f"memory {run.memory_cycles:.0f}; "
+          f"{'memory' if run.bandwidth_bound else 'core'}-bound)")
+    print(f"speedup vs push: {run.speedup_over(base):.2f}x")
+    print(f"traffic vs push: {run.traffic_ratio_over(base):.2f}x")
+    print("traffic by class (bytes):")
+    for cls, nbytes in run.traffic.items():
+        print(f"  {cls:20s} {nbytes:,.0f}")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.compression import make_codec
+    rng = np.random.default_rng(0)
+    generators = {
+        "sorted-ids": lambda: np.sort(rng.integers(0, 50_000, 1024)
+                                      ).astype(np.uint32),
+        "clustered": lambda: (10 ** 6 + np.cumsum(
+            rng.integers(0, 8, 1024))).astype(np.uint32),
+        "random": lambda: rng.integers(0, 2 ** 32, 1024,
+                                       dtype=np.uint64
+                                       ).astype(np.uint32),
+        "runs": lambda: np.repeat(
+            rng.integers(0, 100, 32).astype(np.uint32), 32),
+        "floats": lambda: rng.standard_normal(1024
+                                              ).astype(np.float32),
+    }
+    if args.data not in generators:
+        print(f"unknown data kind {args.data!r}; have "
+              f"{sorted(generators)}", file=sys.stderr)
+        return 2
+    data = generators[args.data]()
+    codec = make_codec(args.codec)
+    encoded = codec.encode(data)
+    decoded = codec.decode(encoded, data.size, data.dtype)
+    ok = np.array_equal(decoded, data)
+    raw = data.size * data.dtype.itemsize
+    print(f"codec={args.codec} data={args.data}: {raw} B -> "
+          f"{len(encoded)} B ({raw / len(encoded):.2f}x), "
+          f"roundtrip {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.harness import generate_report
+    from repro.sim import Runner
+    runner = Runner(scale=args.scale)
+    ids = args.experiments or None
+    report = generate_report(runner, experiment_ids=ids, progress=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_traverse(args) -> int:
+    from repro.config import SpZipConfig
+    from repro.dcl import pack_range
+    from repro.engine import (
+        INPUT_QUEUE,
+        ROWS_QUEUE,
+        Fetcher,
+        compressed_csr_traversal,
+        drive,
+    )
+    from repro.graph import CompressedCsr, load
+    from repro.memory import AddressSpace
+    graph = load(args.dataset, args.scale)
+    rows = min(args.rows, graph.num_vertices)
+    compressed = CompressedCsr(graph)
+    space = AddressSpace()
+    space.alloc_array("offsets", compressed.offsets, "adjacency")
+    space.alloc_array("payload",
+                      np.frombuffer(compressed.payload, dtype=np.uint8),
+                      "adjacency")
+    fetcher = Fetcher(SpZipConfig(), space)
+    fetcher.load_program(compressed_csr_traversal())
+    result = drive(fetcher, feeds={INPUT_QUEUE: [pack_range(0,
+                                                            rows + 1)]},
+                   consume=[ROWS_QUEUE], dequeues_per_cycle=4,
+                   max_cycles=10 ** 8)
+    chunks = result.chunks(ROWS_QUEUE)
+    edges = sum(len(c) for c in chunks)
+    ok = all(chunks[v] == graph.row(v).tolist() for v in range(rows))
+    print(f"{args.dataset}: traversed {rows} rows / {edges} edges in "
+          f"{result.cycles} cycles "
+          f"(adjacency ratio {compressed.compression_ratio():.2f}x); "
+          f"verification {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SpZip reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments/apps/datasets/codecs")
+
+    experiment = sub.add_parser("experiment",
+                                help="run one table/figure experiment")
+    experiment.add_argument("id")
+    experiment.add_argument("--scale", type=int, default=4096)
+
+    simulate = sub.add_parser("simulate",
+                              help="simulate one app/scheme/input")
+    simulate.add_argument("--app", default="bfs")
+    simulate.add_argument("--scheme", default="phi+spzip")
+    simulate.add_argument("--dataset", default="ukl")
+    simulate.add_argument("--preprocessing", default="none")
+    simulate.add_argument("--scale", type=int, default=4096)
+
+    compress = sub.add_parser("compress", help="demo a codec")
+    compress.add_argument("--codec", default="delta")
+    compress.add_argument("--data", default="sorted-ids")
+
+    report = sub.add_parser("report",
+                            help="run all experiments, emit markdown")
+    report.add_argument("--out", default=None)
+    report.add_argument("--scale", type=int, default=4096)
+    report.add_argument("--experiments", nargs="*", default=None)
+
+    traverse = sub.add_parser("traverse",
+                              help="run the functional fetcher")
+    traverse.add_argument("--dataset", default="ukl")
+    traverse.add_argument("--rows", type=int, default=500)
+    traverse.add_argument("--scale", type=int, default=4096)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "simulate": _cmd_simulate,
+        "compress": _cmd_compress,
+        "traverse": _cmd_traverse,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""Textual Dataflow Configuration Language.
+
+The paper introduces the DCL as SpZip's hardware-software interface; this
+module gives it a concrete, human-writable surface syntax so programs can
+be written, stored, and reviewed as text.  The grammar is line-oriented
+(``#`` starts a comment)::
+
+    queue <name> [elem=<bytes>] [cap=<bytes>]
+    range <name> <in> -> <out,...|-> base=<addr|region> [elem=4]
+          [marker=<v>] [boundaries] [nomarkers]
+    indirect <name> <in> -> <out,...|-> base=<addr|region> [elem=8]
+    decompress <name> <in> -> <out,...> codec=<name> [elem=4]
+    compress <name> <in> -> <out,...> codec=<name> [elem=4] [chunk=32]
+          [sort]
+    streamwrite <name> <in> base=<addr|region> cap=<bytes>
+    memqueue <name> <in> -> <out,...|-> queues=<n> base=<addr|region>
+          qbytes=<n> [vbytes=8] [flush=32]
+    binappend <name> <in> queues=<n> base=<addr|region> qbytes=<n>
+
+``->`` with ``-`` as the target list means "no output queues"
+(prefetch-only indirection, or an MQU that interrupts software).
+``boundaries`` selects the range fetch's use-end-as-next-start mode
+(consecutive offsets bound consecutive rows, Fig 11).
+
+Example — the compressed-CSR traversal of Fig 3::
+
+    queue input elem=8
+    queue offsets elem=8
+    queue crows elem=1
+    queue rows elem=4
+    range fetch_offsets input -> offsets base=offsets elem=8
+    range fetch_rows offsets -> crows base=payload elem=1 boundaries
+    decompress dec crows -> rows codec=delta
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Dict, List, Optional
+
+from repro.compression import make_codec
+from repro.dcl.program import Program, ProgramError
+
+
+class DclSyntaxError(ProgramError):
+    """A textual DCL program failed to parse."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _split_kv(tokens: List[str], line_no: int):
+    """Separate positional tokens from key=value options and flags."""
+    positional: List[str] = []
+    options: Dict[str, str] = {}
+    flags: List[str] = []
+    for token in tokens:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            if not key or not value:
+                raise DclSyntaxError(line_no, f"malformed option {token!r}")
+            options[key] = value
+        else:
+            if options or flags:
+                flags.append(token)
+            else:
+                positional.append(token)
+    return positional, options, flags
+
+
+def _parse_int(value: str, line_no: int, what: str) -> int:
+    try:
+        return int(value, 0)
+    except ValueError:
+        raise DclSyntaxError(line_no, f"{what} must be an integer, "
+                                      f"got {value!r}") from None
+
+
+def _parse_base(value: str):
+    """Base addresses are ints (any base) or region names."""
+    try:
+        return int(value, 0)
+    except ValueError:
+        return value
+
+
+def _parse_io(positional: List[str], line_no: int):
+    """Parse ``<name> <in> -> <outs>`` positional structure."""
+    if len(positional) < 2:
+        raise DclSyntaxError(line_no, "expected operator name and input")
+    name, in_queue = positional[0], positional[1]
+    outs: List[str] = []
+    if len(positional) >= 3:
+        if positional[2] != "->":
+            raise DclSyntaxError(line_no, f"expected '->', "
+                                          f"got {positional[2]!r}")
+        if len(positional) != 4:
+            raise DclSyntaxError(line_no, "expected one output list "
+                                          "after '->'")
+        if positional[3] != "-":
+            outs = [q for q in positional[3].split(",") if q]
+    return name, in_queue, outs
+
+
+def parse_dcl(text: str) -> Program:
+    """Parse a textual DCL program into a :class:`Program`."""
+    program = Program()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = shlex.split(line)
+        keyword, rest = tokens[0], tokens[1:]
+        positional, options, flags = _split_kv(rest, line_no)
+        if keyword == "queue":
+            _parse_queue(program, positional, options, flags, line_no)
+        elif keyword == "range":
+            _parse_range(program, positional, options, flags, line_no)
+        elif keyword == "indirect":
+            _parse_indirect(program, positional, options, flags, line_no)
+        elif keyword == "decompress":
+            _parse_decompress(program, positional, options, flags, line_no)
+        elif keyword == "compress":
+            _parse_compress(program, positional, options, flags, line_no)
+        elif keyword == "streamwrite":
+            _parse_streamwrite(program, positional, options, flags, line_no)
+        elif keyword == "memqueue":
+            _parse_memqueue(program, positional, options, flags, line_no)
+        elif keyword == "binappend":
+            _parse_binappend(program, positional, options, flags, line_no)
+        else:
+            raise DclSyntaxError(line_no, f"unknown statement {keyword!r}")
+    return program
+
+
+def _require(options: Dict[str, str], key: str, line_no: int) -> str:
+    if key not in options:
+        raise DclSyntaxError(line_no, f"missing required option {key!r}")
+    return options[key]
+
+
+def _no_extra_flags(flags: List[str], allowed: set, line_no: int) -> None:
+    for flag in flags:
+        if flag not in allowed:
+            raise DclSyntaxError(line_no, f"unknown flag {flag!r}")
+
+
+def _parse_queue(program, positional, options, flags, line_no) -> None:
+    if len(positional) != 1:
+        raise DclSyntaxError(line_no, "queue takes exactly one name")
+    _no_extra_flags(flags, set(), line_no)
+    program.queue(
+        positional[0],
+        elem_bytes=_parse_int(options.get("elem", "4"), line_no, "elem"),
+        capacity_bytes=_parse_int(options["cap"], line_no, "cap")
+        if "cap" in options else None,
+    )
+
+
+def _parse_range(program, positional, options, flags, line_no) -> None:
+    name, in_queue, outs = _parse_io(positional, line_no)
+    _no_extra_flags(flags, {"boundaries", "nomarkers"}, line_no)
+    program.range_fetch(
+        name, in_queue, outs,
+        base=_parse_base(_require(options, "base", line_no)),
+        elem_bytes=_parse_int(options.get("elem", "4"), line_no, "elem"),
+        marker_value=_parse_int(options.get("marker", "0"), line_no,
+                                "marker"),
+        use_end_as_next_start="boundaries" in flags,
+        emit_range_markers="nomarkers" not in flags,
+    )
+
+
+def _parse_indirect(program, positional, options, flags, line_no) -> None:
+    name, in_queue, outs = _parse_io(positional, line_no)
+    _no_extra_flags(flags, set(), line_no)
+    program.indirect(
+        name, in_queue, outs,
+        base=_parse_base(_require(options, "base", line_no)),
+        elem_bytes=_parse_int(options.get("elem", "8"), line_no, "elem"),
+    )
+
+
+def _make_codec(options: Dict[str, str], line_no: int):
+    name = _require(options, "codec", line_no)
+    try:
+        return make_codec(name)
+    except KeyError:
+        raise DclSyntaxError(line_no, f"unknown codec {name!r}") from None
+
+
+def _parse_decompress(program, positional, options, flags, line_no) -> None:
+    name, in_queue, outs = _parse_io(positional, line_no)
+    _no_extra_flags(flags, set(), line_no)
+    if not outs:
+        raise DclSyntaxError(line_no, "decompress needs an output queue")
+    program.decompress(
+        name, in_queue, outs, codec=_make_codec(options, line_no),
+        elem_bytes=_parse_int(options.get("elem", "4"), line_no, "elem"),
+    )
+
+
+def _parse_compress(program, positional, options, flags, line_no) -> None:
+    name, in_queue, outs = _parse_io(positional, line_no)
+    _no_extra_flags(flags, {"sort"}, line_no)
+    program.compress(
+        name, in_queue, outs, codec=_make_codec(options, line_no),
+        elem_bytes=_parse_int(options.get("elem", "4"), line_no, "elem"),
+        chunk_elems=_parse_int(options.get("chunk", "32"), line_no,
+                               "chunk"),
+        sort_chunks="sort" in flags,
+    )
+
+
+def _parse_streamwrite(program, positional, options, flags, line_no) -> None:
+    if len(positional) != 2:
+        raise DclSyntaxError(line_no, "streamwrite takes name and input")
+    _no_extra_flags(flags, set(), line_no)
+    program.stream_write(
+        positional[0], positional[1],
+        base=_parse_base(_require(options, "base", line_no)),
+        capacity_bytes=_parse_int(_require(options, "cap", line_no),
+                                  line_no, "cap"),
+    )
+
+
+def _parse_binappend(program, positional, options, flags, line_no) -> None:
+    if len(positional) != 2:
+        raise DclSyntaxError(line_no, "binappend takes name and input")
+    _no_extra_flags(flags, set(), line_no)
+    program.bin_append(
+        positional[0], positional[1],
+        num_queues=_parse_int(_require(options, "queues", line_no),
+                              line_no, "queues"),
+        base=_parse_base(_require(options, "base", line_no)),
+        bytes_per_queue=_parse_int(_require(options, "qbytes", line_no),
+                                   line_no, "qbytes"),
+    )
+
+
+def _parse_memqueue(program, positional, options, flags, line_no) -> None:
+    name, in_queue, outs = _parse_io(positional, line_no)
+    _no_extra_flags(flags, set(), line_no)
+    program.mem_queue(
+        name, in_queue, outs,
+        num_queues=_parse_int(_require(options, "queues", line_no),
+                              line_no, "queues"),
+        base=_parse_base(_require(options, "base", line_no)),
+        bytes_per_queue=_parse_int(_require(options, "qbytes", line_no),
+                                   line_no, "qbytes"),
+        value_bytes=_parse_int(options.get("vbytes", "8"), line_no,
+                               "vbytes"),
+        flush_elems=_parse_int(options.get("flush", "32"), line_no,
+                               "flush"),
+    )

@@ -1,0 +1,43 @@
+"""Round-robin dataflow scheduler (paper Sec III-B, "Scheduler").
+
+Each cycle the scheduler picks one *ready* operator context: its input
+queue has an element, its output queues have space, and its functional
+unit can accept work (all folded into ``Operator.ready``).  A round-robin
+pointer provides fairness among ready contexts, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dcl.operators import Operator
+
+
+class RoundRobinScheduler:
+    """Picks at most one ready operator per cycle, round-robin."""
+
+    def __init__(self, operators: List[Operator]) -> None:
+        self.operators = list(operators)
+        self._next = 0
+        self.issued = 0
+        self.idle_cycles = 0
+        self.fires_by_op: Dict[str, int] = {op.name: 0
+                                            for op in self.operators}
+
+    def pick(self, engine) -> Optional[Operator]:
+        """Return the next ready operator, advancing the pointer."""
+        n = len(self.operators)
+        for step in range(n):
+            op = self.operators[(self._next + step) % n]
+            if op.ready(engine):
+                self._next = (self._next + step + 1) % n
+                self.issued += 1
+                self.fires_by_op[op.name] += 1
+                return op
+        self.idle_cycles += 1
+        return None
+
+    def activity_factor(self) -> float:
+        """Fraction of cycles with an operator firing (paper: ~33%)."""
+        total = self.issued + self.idle_cycles
+        return self.issued / total if total else 0.0

@@ -1,0 +1,245 @@
+"""Shared engine machinery: time-multiplexed execution + the access unit.
+
+Both SpZip engines (fetcher, compressor) are the same machine (Figs
+10/12): a scratchpad of queues, a set of operator contexts sharing a few
+functional units, a round-robin scheduler, and a memory port.  They
+differ in which operator kinds they host and where their memory port
+enters the hierarchy (fetcher -> its core's L2; compressor -> the LLC).
+
+The **access unit** (AU) is where decoupling comes from: it accepts up to
+``au_outstanding_lines`` in-flight requests and delivers their responses
+*in order* as they complete, so a traversal keeps many misses in flight
+while earlier data drains into queues.  Shallow queues throttle this —
+responses stall when their output queue is full — which is exactly the
+scratchpad-size sensitivity of Fig 21.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SpZipConfig
+from repro.dcl.operators import Operator
+from repro.dcl.program import Program
+from repro.dcl.queue import Entry, MarkerQueue
+from repro.dcl.scheduler import RoundRobinScheduler
+from repro.memory.address import AddressSpace
+
+#: Memory port signature: (addr, nbytes, write) -> latency cycles.
+MemPort = Callable[[int, int, bool], int]
+
+
+@dataclass
+class _InflightRequest:
+    complete_at: int
+    operator: Operator
+    entries: List[Entry]
+    out_queues: Sequence[MarkerQueue]
+
+
+class EngineStall(RuntimeError):
+    """The engine made no progress for too long (deadlock guard)."""
+
+
+class SpZipEngine:
+    """Time-multiplexed DCL execution engine."""
+
+    #: operator kinds this engine type may host; subclasses narrow it.
+    allowed_kinds: Optional[frozenset] = None
+
+    def __init__(self, config: SpZipConfig, space: AddressSpace,
+                 mem_port: Optional[MemPort] = None,
+                 mem_latency: int = 20) -> None:
+        self.config = config
+        self.space = space
+        self._mem_port = mem_port
+        self._flat_latency = mem_latency
+        self.cycle = 0
+        self.queues: Dict[str, MarkerQueue] = {}
+        self.operators: List[Operator] = []
+        self.scheduler: Optional[RoundRobinScheduler] = None
+        self._inflight: Deque[_InflightRequest] = deque()
+        self.program: Optional[Program] = None
+        # Statistics.
+        self.mem_reads = 0
+        self.mem_bytes_read = 0
+        self.mem_writes = 0
+        self.mem_bytes_written = 0
+
+    # -- configuration (memory-mapped I/O in hardware) -------------------------
+
+    def load_program(self, program: Program) -> None:
+        """Validate and install a DCL program (Sec III-B, configure)."""
+        program.validate(self.config, self.allowed_kinds)
+        self.queues, self.operators = program.instantiate(
+            self.config, self._resolve_addr)
+        self.scheduler = RoundRobinScheduler(self.operators)
+        self._inflight.clear()
+        self.program = program
+
+    def _resolve_addr(self, base) -> int:
+        if isinstance(base, str):
+            return self.space.region(base).base
+        return int(base)
+
+    # -- core-facing queue interface (enqueue/dequeue instructions) -----------
+
+    def enqueue(self, queue: str, value: int, marker: bool = False) -> bool:
+        """Core-side push; returns False when the queue is full."""
+        return self.queues[queue].try_push(value, marker)
+
+    def dequeue(self, queue: str) -> Optional[Entry]:
+        """Core-side pop; None when empty (core would retry/spin)."""
+        return self.queues[queue].try_pop()
+
+    # -- memory services used by operators --------------------------------------
+
+    def _charge(self, addr: int, nbytes: int, write: bool) -> int:
+        if write:
+            self.mem_writes += 1
+            self.mem_bytes_written += nbytes
+        else:
+            self.mem_reads += 1
+            self.mem_bytes_read += nbytes
+        if self._mem_port is not None:
+            return self._mem_port(addr, nbytes, write)
+        return self._flat_latency
+
+    def mem_read_elems(self, addr: int, count: int,
+                       elem_bytes: int) -> np.ndarray:
+        """Functional load of ``count`` elements (latency charged at issue)."""
+        if count == 0:
+            return np.empty(0, dtype=np.uint64)
+        values = self.space.load_elems(addr, count,
+                                       np.dtype(f"u{elem_bytes}"))
+        return values
+
+    def mem_read_charged(self, addr: int, count: int,
+                         elem_bytes: int) -> np.ndarray:
+        """Functional load that also charges the memory port (for units
+        like the MQU that access memory synchronously, outside the AU)."""
+        values = self.mem_read_elems(addr, count, elem_bytes)
+        if count:
+            self._charge(addr, count * elem_bytes, write=False)
+        return values
+
+    def mem_write_bytes(self, addr: int, data: bytes) -> None:
+        """Functional store through the engine's memory port."""
+        self.space.store(addr, data)
+        self._charge(addr, len(data), write=True)
+
+    # -- access unit -------------------------------------------------------------
+
+    def au_can_issue(self) -> bool:
+        return len(self._inflight) < self.config.au_outstanding_lines
+
+    def au_issue(self, operator: Operator, addr: int, nbytes: int,
+                 entries: List[Entry],
+                 out_queues: Sequence[MarkerQueue]) -> None:
+        """Queue a memory request; its entries deliver when it completes."""
+        latency = self._charge(addr, nbytes, write=False) if nbytes else 0
+        self._inflight.append(_InflightRequest(self.cycle + latency,
+                                               operator, entries,
+                                               out_queues))
+
+    def stage_passthrough(self, operator: Operator, entry: Entry) -> None:
+        """Forward an entry (marker passthrough) in request order."""
+        self._inflight.append(_InflightRequest(self.cycle, operator,
+                                               [entry],
+                                               operator.out_queues))
+
+    def _deliver_responses(self) -> bool:
+        """Drain completed AU responses, in order, up to FU throughput.
+
+        Responses always fit: issuing operators reserved their output
+        space up front (credit-based flow control), so the in-order FIFO
+        can never block head-of-line.
+        """
+        progressed = False
+        budget = self.config.fu_bytes_per_cycle
+        while self._inflight and budget > 0:
+            head = self._inflight[0]
+            if head.complete_at > self.cycle:
+                break
+            while head.entries and budget > 0:
+                entry = head.entries.pop(0)
+                for queue in head.out_queues:
+                    queue.push(entry.value, entry.marker, reserved=True)
+                progressed = True
+                budget -= 1
+            if head.entries:
+                break
+            self._inflight.popleft()
+        return progressed
+
+    # -- execution -----------------------------------------------------------------
+
+    def tick(self) -> bool:
+        """Advance one cycle; returns True if any work happened."""
+        if self.scheduler is None:
+            raise RuntimeError("no program loaded")
+        progressed = self._deliver_responses()
+        op = self.scheduler.pick(self)
+        if op is not None:
+            op.fire(self)
+            progressed = True
+        elif self._inflight:
+            progressed = True  # waiting on memory is progress
+        self.cycle += 1
+        return progressed
+
+    def run(self, max_cycles: int = 10_000_000) -> int:
+        """Tick until fully drained; returns cycles spent."""
+        start = self.cycle
+        idle = 0
+        while not self.is_drained():
+            if self.tick():
+                idle = 0
+            else:
+                idle += 1
+                if idle > 10_000:
+                    raise EngineStall(
+                        f"engine made no progress for {idle} cycles "
+                        f"(output queue never drained?)")
+            if self.cycle - start > max_cycles:
+                raise EngineStall(f"exceeded {max_cycles} cycles")
+        return self.cycle - start
+
+    def is_drained(self) -> bool:
+        """No in-flight requests, no operator work, internal queues empty.
+
+        Output queues (consumed by the core) may still hold data.
+        """
+        if self._inflight:
+            return False
+        if any(not op.done(self) for op in self.operators):
+            return False
+        outputs = set(self.program.output_queues()) if self.program else set()
+        return all(q.is_empty or name in outputs
+                   for name, q in self.queues.items())
+
+
+def engine_stats(engine: "SpZipEngine") -> Dict[str, object]:
+    """One-glance summary of an engine run (debug/report helper)."""
+    scheduler = engine.scheduler
+    queues = {
+        name: {"pushed": q.total_pushed,
+               "high_water_bytes": q.high_water_bytes}
+        for name, q in engine.queues.items()
+    }
+    return {
+        "cycles": engine.cycle,
+        "mem_reads": engine.mem_reads,
+        "mem_bytes_read": engine.mem_bytes_read,
+        "mem_writes": engine.mem_writes,
+        "mem_bytes_written": engine.mem_bytes_written,
+        "operator_fires": dict(scheduler.fires_by_op)
+        if scheduler else {},
+        "activity_factor": scheduler.activity_factor()
+        if scheduler else 0.0,
+        "queues": queues,
+    }

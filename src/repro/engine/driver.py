@@ -1,0 +1,108 @@
+"""Core <-> engine co-simulation helpers.
+
+Hardware cores interact with SpZip engines through ``enqueue``/``dequeue``
+instructions (Sec III-A).  These drivers model the core side of that
+conversation — feed inputs when queues have space, consume outputs at a
+configurable rate — while ticking the engine, and report the cycles the
+whole exchange took.  They are what the examples, the functional tests,
+and the Fig 21 scratchpad study use to "run a core program".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dcl.queue import Entry
+from repro.engine.base import EngineStall, SpZipEngine
+
+#: Input feed items: (value, is_marker) pairs or bare ints.
+FeedItem = object
+
+
+def _normalize_feed(items: Iterable[FeedItem]) -> List[Tuple[int, bool]]:
+    out: List[Tuple[int, bool]] = []
+    for item in items:
+        if isinstance(item, tuple):
+            value, marker = item
+            out.append((int(value), bool(marker)))
+        elif isinstance(item, Entry):
+            out.append((item.value, item.marker))
+        else:
+            out.append((int(item), False))
+    return out
+
+
+@dataclass
+class DriveResult:
+    """What a co-simulated run produced and what it cost."""
+
+    cycles: int
+    outputs: Dict[str, List[Entry]] = field(default_factory=dict)
+
+    def values(self, queue: str) -> List[int]:
+        """Non-marker values dequeued from ``queue``."""
+        return [e.value for e in self.outputs.get(queue, []) if not e.marker]
+
+    def chunks(self, queue: str) -> List[List[int]]:
+        """Values grouped by marker boundaries (trailing chunk included)."""
+        chunks: List[List[int]] = [[]]
+        for entry in self.outputs.get(queue, []):
+            if entry.marker:
+                chunks.append([])
+            else:
+                chunks[-1].append(entry.value)
+        if chunks and not chunks[-1]:
+            chunks.pop()
+        return chunks
+
+
+def drive(engine: SpZipEngine,
+          feeds: Optional[Dict[str, Iterable[FeedItem]]] = None,
+          consume: Iterable[str] = (),
+          dequeues_per_cycle: int = 2,
+          max_cycles: int = 10_000_000) -> DriveResult:
+    """Run ``engine`` against a modelled core until everything drains.
+
+    ``feeds`` maps input-queue names to the entries the core enqueues;
+    ``consume`` names the output queues the core dequeues from, at up to
+    ``dequeues_per_cycle`` entries per cycle (modelling the core's
+    dequeue-instruction throughput).
+    """
+    pending: Dict[str, List[Tuple[int, bool]]] = {
+        name: _normalize_feed(items) for name, items in (feeds or {}).items()
+    }
+    outputs: Dict[str, List[Entry]] = {name: [] for name in consume}
+    start = engine.cycle
+    idle = 0
+    while True:
+        progressed = False
+        # Core enqueues (one enqueue instruction per input queue per cycle).
+        for name, items in pending.items():
+            if items and engine.enqueue(name, items[0][0], items[0][1]):
+                items.pop(0)
+                progressed = True
+        # Engine runs a cycle.
+        if engine.tick():
+            progressed = True
+        # Core dequeues.
+        budget = dequeues_per_cycle
+        for name in outputs:
+            while budget > 0:
+                entry = engine.dequeue(name)
+                if entry is None:
+                    break
+                outputs[name].append(entry)
+                budget -= 1
+                progressed = True
+        finished = (not any(pending.values()) and engine.is_drained()
+                    and all(engine.queues[name].is_empty
+                            for name in outputs))
+        if finished:
+            break
+        idle = 0 if progressed else idle + 1
+        if idle > 10_000:
+            raise EngineStall("core/engine co-simulation stalled")
+        if engine.cycle - start > max_cycles:
+            raise EngineStall(f"exceeded {max_cycles} cycles")
+    return DriveResult(cycles=engine.cycle - start, outputs=outputs)

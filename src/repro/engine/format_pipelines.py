@@ -1,0 +1,95 @@
+"""DCL traversal pipelines for the non-CSR sparse formats (Sec II-B).
+
+The paper argues the DCL's generality from exactly these formats: "The
+DCL can also handle many other sparse formats ... including matrices in
+DCSR, COO, DIA, or ELL."  Each builder here is a concrete, runnable DCL
+program for one of them, operating over the layouts in
+:mod:`repro.sparse.formats`:
+
+* **COO** — two parallel range fetches stream the row and column arrays
+  in lockstep (the "coordinates and values stored separately" pattern
+  the paper notes after Fig 1);
+* **DCSR** — three stages: stored-row ids, their offsets (boundary
+  mode), and the column payload — one range-fetch deeper than CSR;
+* **ELL** — fixed-width rows mean row extents are *computable*, so a
+  single range fetch in pair mode suffices (the core, or an upstream
+  generator, supplies ``(v*width, (v+1)*width)``); padding entries pass
+  through and are dropped by the consumer on the pad sentinel.
+
+DIA needs only dense range fetches (one per diagonal) and is covered by
+:func:`csr_traversal`-style programs over its lanes.
+"""
+
+from __future__ import annotations
+
+from repro.dcl.program import Program
+
+COO_ROWS_QUEUE = "coo_rows"
+COO_COLS_QUEUE = "coo_cols"
+DCSR_ROWIDS_QUEUE = "stored_row_ids"
+DCSR_COLS_QUEUE = "cols"
+ELL_COLS_QUEUE = "ell_cols"
+
+
+def coo_traversal(rows_region: str = "coo_rows_arr",
+                  cols_region: str = "coo_cols_arr") -> Program:
+    """Stream a COO matrix: parallel row/col range fetches.
+
+    The core enqueues the same nonzero range (packed) to both inputs and
+    dequeues (row, col) pairs in lockstep.
+    """
+    p = Program()
+    p.queue("input_rows", elem_bytes=8)
+    p.queue("input_cols", elem_bytes=8)
+    p.queue(COO_ROWS_QUEUE, elem_bytes=4)
+    p.queue(COO_COLS_QUEUE, elem_bytes=4)
+    p.range_fetch("fetch_rows", "input_rows", [COO_ROWS_QUEUE],
+                  base=rows_region, elem_bytes=4,
+                  emit_range_markers=False)
+    p.range_fetch("fetch_cols", "input_cols", [COO_COLS_QUEUE],
+                  base=cols_region, elem_bytes=4,
+                  emit_range_markers=False)
+    return p
+
+
+def dcsr_traversal(rowids_region: str = "dcsr_rowids",
+                   offsets_region: str = "dcsr_offsets",
+                   cols_region: str = "dcsr_cols") -> Program:
+    """Walk a DCSR matrix: stored-row ids + offsets + columns.
+
+    The core enqueues the stored-row index range to ``input_ids`` (to
+    learn which rows exist) and the offsets boundary range to
+    ``input_offsets``; rows come out marker-delimited like CSR's.
+    """
+    p = Program()
+    p.queue("input_ids", elem_bytes=8)
+    p.queue("input_offsets", elem_bytes=8)
+    p.queue(DCSR_ROWIDS_QUEUE, elem_bytes=4)
+    p.queue("offsetsQ", elem_bytes=8)
+    p.queue(DCSR_COLS_QUEUE, elem_bytes=4)
+    p.range_fetch("fetch_row_ids", "input_ids", [DCSR_ROWIDS_QUEUE],
+                  base=rowids_region, elem_bytes=4,
+                  emit_range_markers=False)
+    p.range_fetch("fetch_offsets", "input_offsets", ["offsetsQ"],
+                  base=offsets_region, elem_bytes=8,
+                  emit_range_markers=False)
+    p.range_fetch("fetch_cols", "offsetsQ", [DCSR_COLS_QUEUE],
+                  base=cols_region, elem_bytes=4,
+                  use_end_as_next_start=True, marker_value=1)
+    return p
+
+
+def ell_traversal(cols_region: str = "ell_cols_arr") -> Program:
+    """Walk an ELL matrix: one pair-mode range fetch over the slab.
+
+    Fixed-width rows make extents computable, so the core enqueues
+    ``pack_range(v * width, (v + 1) * width)`` per row (or one packed
+    range per row group); pad sentinels flow through for the consumer
+    to drop.
+    """
+    p = Program()
+    p.queue("input", elem_bytes=8)
+    p.queue(ELL_COLS_QUEUE, elem_bytes=4)
+    p.range_fetch("fetch_cols", "input", [ELL_COLS_QUEUE],
+                  base=cols_region, elem_bytes=4, marker_value=1)
+    return p

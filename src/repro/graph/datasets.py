@@ -1,0 +1,98 @@
+"""Input dataset registry — synthetic stand-ins for paper Table III.
+
+Table III evaluates five web/social graphs plus one structured matrix:
+
+=====  ============  =========  ==========  ======================
+name   vertices (M)  edges (M)  kind        source
+=====  ============  =========  ==========  ======================
+arb    22            640        web crawl   arabic-2005
+ukl    39            936        web crawl   uk-2005
+twi    41            1468       social      Twitter followers
+it     41            1150       web crawl   it-2004
+web    118           1020       web crawl   webbase-2001
+nlp    27            760        FEM/KKT     nlpkkt240
+=====  ============  =========  ==========  ======================
+
+We generate graphs with the same vertex/edge counts scaled down by
+``scale`` (default 4096), preserving average degree and each input's
+*character*: web crawls get strong planted communities and natural-order
+locality, Twitter gets a skewed RMAT with little community structure
+(the paper repeatedly notes twi "has little community structure"), and
+nlp is a banded matrix.  Instances are memoized because the evaluation
+sweeps reuse them heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import banded_matrix, community_graph, rmat
+from repro.graph.preprocess import preprocess
+
+DEFAULT_SCALE = 4096
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table III row."""
+
+    name: str
+    vertices_m: float
+    edges_m: float
+    kind: str  # "web", "social", or "matrix"
+    source: str
+
+    def scaled_shape(self, scale: int = DEFAULT_SCALE) -> Tuple[int, int]:
+        vertices = max(64, int(self.vertices_m * 1e6 / scale))
+        edges = max(vertices, int(self.edges_m * 1e6 / scale))
+        return vertices, edges
+
+
+#: Table III, keyed by the paper's short names.
+DATASETS: Dict[str, DatasetSpec] = {
+    "arb": DatasetSpec("arb", 22, 640, "web", "arabic-2005"),
+    "ukl": DatasetSpec("ukl", 39, 936, "web", "uk-2005"),
+    "twi": DatasetSpec("twi", 41, 1468, "social", "Twitter followers"),
+    "it": DatasetSpec("it", 41, 1150, "web", "it-2004"),
+    "web": DatasetSpec("web", 118, 1020, "web", "webbase-2001"),
+    "nlp": DatasetSpec("nlp", 27, 760, "matrix", "nlpkkt240"),
+}
+
+#: The five graph inputs used by the graph applications (nlp is SpMV's).
+GRAPH_INPUTS = ("arb", "ukl", "twi", "it", "web")
+
+
+@lru_cache(maxsize=None)
+def load(name: str, scale: int = DEFAULT_SCALE) -> CsrGraph:
+    """Generate (and memoize) the natural-order instance of a dataset."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; have {sorted(DATASETS)}")
+    spec = DATASETS[name]
+    vertices, edges = spec.scaled_shape(scale)
+    if spec.kind == "web":
+        return community_graph(vertices, edges,
+                               seed_stream=f"web/{name}")
+    if spec.kind == "social":
+        return rmat(vertices, edges, seed_stream=f"social/{name}")
+    return banded_matrix(vertices, edges, seed_stream=f"matrix/{name}")
+
+
+@lru_cache(maxsize=None)
+def load_preprocessed(name: str, method: str,
+                      scale: int = DEFAULT_SCALE) -> CsrGraph:
+    """Dataset relabeled by a preprocessing method (memoized).
+
+    ``method="none"`` reproduces the paper's non-preprocessed baseline
+    (randomized ids); other methods are applied to the natural-order
+    instance, as a user with access to the raw input would.
+    """
+    return preprocess(load(name, scale), method)
+
+
+def clear_cache() -> None:
+    """Drop memoized instances (tests use this to bound memory)."""
+    load.cache_clear()
+    load_preprocessed.cache_clear()

@@ -1,0 +1,84 @@
+"""HATS-style locality-aware traversal scheduling (extension; Sec VI).
+
+The paper's related work: "HATS is a specialized fetcher that performs
+locality-aware graph traversals... HATS and SpZip are complementary:
+SpZip's fetcher could be enhanced to perform locality-aware traversals."
+HATS (Mukkara et al., MICRO'18) runs **bounded-depth DFS** (BDFS): the
+traversal visits a vertex, then immediately its not-yet-visited
+neighbours up to a small depth, so vertices that share neighbourhoods
+are processed close together in time — the cache sees preprocessed-like
+locality without any offline reordering.
+
+``bdfs_order`` produces the BDFS processing order over source vertices;
+feeding it to the Push destination-scatter replay shows the traffic
+reduction a HATS-enhanced SpZip fetcher would add (see
+``tests/test_graph_hats.py`` and ``examples/hats_traversal.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+
+DEFAULT_DEPTH = 2
+
+
+def bdfs_order(graph: CsrGraph, depth: int = DEFAULT_DEPTH) -> np.ndarray:
+    """Bounded-depth-DFS processing order over all vertices.
+
+    Visits each vertex once; upon visiting ``v`` it recurses into
+    unvisited out-neighbours up to ``depth`` levels before moving to the
+    next unvisited root (sequential root scan, like HATS' vertex
+    scheduler).  Returns the order as an array of vertex ids.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    n = graph.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    count = 0
+    offsets, neighbors = graph.offsets, graph.neighbors
+    for root in range(n):
+        if visited[root]:
+            continue
+        # Iterative bounded DFS: stack of (vertex, remaining_depth).
+        stack = [(root, depth)]
+        visited[root] = True
+        while stack:
+            vertex, budget = stack.pop()
+            order[count] = vertex
+            count += 1
+            if budget == 0:
+                continue
+            row = neighbors[offsets[vertex]:offsets[vertex + 1]]
+            for u in row.tolist():
+                if not visited[u]:
+                    visited[u] = True
+                    stack.append((u, budget - 1))
+    assert count == n
+    return order
+
+
+def scatter_miss_rate(graph: CsrGraph, source_order: np.ndarray,
+                      cache_lines: int, dst_value_bytes: int = 4) -> float:
+    """Push destination-scatter miss rate when sources are processed in
+    ``source_order`` (the quantity BDFS improves).
+
+    Unlike the profiler's gather, this respects the *processing order*
+    of the sources — which is the whole point of traversal scheduling.
+    """
+    from repro.runtime.traffic import _lru_scatter
+    sources = np.asarray(source_order, dtype=np.int64)
+    deg = graph.out_degrees()[sources]
+    total = int(deg.sum())
+    if total == 0:
+        return 0.0
+    cum = np.concatenate(([0], np.cumsum(deg)[:-1]))
+    idx = (np.repeat(graph.offsets[sources] - cum, deg)
+           + np.arange(total, dtype=np.int64))
+    dsts = graph.neighbors[idx]
+    per_line = max(1, 64 // dst_value_bytes)
+    misses, _wb = _lru_scatter(dsts.astype(np.int64) // per_line,
+                               cache_lines)
+    return misses / dsts.size

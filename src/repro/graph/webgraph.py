@@ -1,0 +1,152 @@
+"""WebGraph-style reference compression (extension; paper Sec VI).
+
+The paper's related work notes: "SpZip could adopt complex compression
+formats like WebGraph" — which achieves order-of-magnitude capacity
+savings by encoding each adjacency row *relative to a similar earlier
+row* (Boldi & Vigna, WWW'04).  This module implements the core WebGraph
+ideas over our CSR substrate:
+
+* **referencing** — a row may copy from one of the previous ``window``
+  rows: a copy bitmask selects which of the reference row's neighbours
+  to keep;
+* **residuals** — neighbours not covered by the copy list are delta
+  byte-coded (zigzag against the row id for the first residual, gaps
+  after);
+* per-row raw fallback, so pathological rows never blow up.
+
+Row layout (all varints unless noted)::
+
+    ref      0 = no reference, else how many rows back
+    [mask]   ceil(len(ref_row)/8) bytes, bit i = copy ref_row[i]
+    residual_count
+    residuals: zigzag(first - row_id), then gaps - 1
+
+The encoder greedily picks the window row whose copy saves the most
+bytes.  ``WebGraphCsr`` mirrors :class:`~repro.graph.CompressedCsr`'s
+API (``row``, ``payload_bytes``, ``compression_ratio``) so it can slot
+into the same experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import OFFSET_DTYPE, VERTEX_DTYPE, CsrGraph
+from repro.utils.varint import decode_varint, encode_varint
+
+DEFAULT_WINDOW = 7
+
+
+def _zigzag(value: int) -> int:
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value >> 1 if (value & 1) == 0 else -((value + 1) >> 1)
+
+
+def _encode_residuals(row_id: int, residuals: List[int]) -> bytes:
+    out = bytearray(encode_varint(len(residuals)))
+    if residuals:
+        out += encode_varint(_zigzag(residuals[0] - row_id))
+        for prev, cur in zip(residuals, residuals[1:]):
+            out += encode_varint(cur - prev - 1)
+    return bytes(out)
+
+
+def _encode_row(row_id: int, row: List[int],
+                window_rows: List[List[int]]) -> bytes:
+    """Best of: no reference, or copy from any window row."""
+    best = encode_varint(0) + _encode_residuals(row_id, row)
+    row_set = set(row)
+    for back, ref_row in enumerate(window_rows, start=1):
+        if not ref_row:
+            continue
+        mask = bytearray((len(ref_row) + 7) // 8)
+        copied = set()
+        for i, neighbor in enumerate(ref_row):
+            if neighbor in row_set:
+                mask[i // 8] |= 1 << (i % 8)
+                copied.add(neighbor)
+        residuals = [n for n in row if n not in copied]
+        candidate = (encode_varint(back) + bytes(mask)
+                     + _encode_residuals(row_id, residuals))
+        if len(candidate) < len(best):
+            best = candidate
+    return best
+
+
+class WebGraphCsr:
+    """CSR adjacency compressed with reference + residual coding."""
+
+    def __init__(self, graph: CsrGraph,
+                 window: int = DEFAULT_WINDOW) -> None:
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self.window = window
+        self.num_vertices = graph.num_vertices
+        self.num_edges = graph.num_edges
+        self._degrees = graph.out_degrees().astype(OFFSET_DTYPE)
+        self.offsets = np.zeros(graph.num_vertices + 1,
+                                dtype=OFFSET_DTYPE)
+        payloads: List[bytes] = []
+        recent: List[List[int]] = []
+        for vertex in range(graph.num_vertices):
+            row = graph.row(vertex).tolist()
+            payloads.append(_encode_row(vertex, row, recent))
+            self.offsets[vertex + 1] = self.offsets[vertex] \
+                + len(payloads[-1])
+            recent.insert(0, row)
+            if len(recent) > window:
+                recent.pop()
+        self.payload = b"".join(payloads)
+
+    # -- access -------------------------------------------------------------
+
+    def row(self, vertex: int) -> np.ndarray:
+        """Decode one row (chasing its reference chain)."""
+        if not 0 <= vertex < self.num_vertices:
+            raise IndexError(f"vertex {vertex} out of range")
+        return np.array(self._decode_row(vertex), dtype=VERTEX_DTYPE)
+
+    def _decode_row(self, vertex: int) -> List[int]:
+        data = self.payload[self.offsets[vertex]:self.offsets[vertex + 1]]
+        ref, pos = decode_varint(data, 0)
+        copied: List[int] = []
+        if ref:
+            ref_row = self._decode_row(vertex - ref)
+            mask_len = (len(ref_row) + 7) // 8
+            mask = data[pos:pos + mask_len]
+            pos += mask_len
+            copied = [n for i, n in enumerate(ref_row)
+                      if mask[i // 8] & (1 << (i % 8))]
+        count, pos = decode_varint(data, pos)
+        residuals: List[int] = []
+        if count:
+            raw, pos = decode_varint(data, pos)
+            residuals.append(vertex + _unzigzag(raw))
+            for _ in range(count - 1):
+                gap, pos = decode_varint(data, pos)
+                residuals.append(residuals[-1] + gap + 1)
+        merged = sorted(set(copied) | set(residuals))
+        return merged
+
+    def to_csr(self) -> CsrGraph:
+        rows = [self._decode_row(v) for v in range(self.num_vertices)]
+        neighbors = np.array([n for row in rows for n in row],
+                             dtype=VERTEX_DTYPE)
+        offsets = np.concatenate(
+            ([0], np.cumsum([len(r) for r in rows]))).astype(OFFSET_DTYPE)
+        return CsrGraph(offsets, neighbors)
+
+    # -- footprint ------------------------------------------------------------
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)
+
+    def compression_ratio(self) -> float:
+        raw = self.num_edges * np.dtype(VERTEX_DTYPE).itemsize
+        return raw / max(1, self.payload_bytes)

@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment results (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.experiments import ExperimentResult
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render an experiment as an aligned text table."""
+    header = list(result.columns)
+    body: List[List[str]] = [
+        [_format_cell(row.get(col, "")) for col in header]
+        for row in result.rows
+    ]
+    widths = [max(len(header[i]), *(len(r[i]) for r in body))
+              if body else len(header[i]) for i in range(len(header))]
+    lines = [f"== {result.experiment}: {result.title} =="]
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in body:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(header))))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def save_table(result: ExperimentResult, directory: str) -> str:
+    """Write the rendered table under ``directory``; returns the path."""
+    import os
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write(render_table(result) + "\n")
+    return path

@@ -1,0 +1,138 @@
+"""Flat virtual address space backing the functional model.
+
+The SpZip engines operate on virtual addresses (paper Sec III-D).  The
+functional model gives DCL programs a real address space: named arrays are
+allocated with cache-line alignment onto a flat 64-bit space, and loads
+and stores move real bytes between operators and numpy-backed storage.
+
+The address space also powers traffic *classification*: every region
+carries a data-class label (``adjacency``, ``source_vertex``,
+``destination_vertex``, ``updates`` — the paper's Fig 15b categories), so
+the cache hierarchy can attribute every off-chip byte to the structure
+that caused it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+LINE_BYTES = 64
+
+#: Traffic classes used in the paper's breakdowns (Fig 7/8/15b/15d/18).
+DATA_CLASSES = (
+    "adjacency",
+    "source_vertex",
+    "destination_vertex",
+    "updates",
+    "other",
+)
+
+
+@dataclass
+class Region:
+    """One named, contiguous allocation."""
+
+    name: str
+    base: int
+    nbytes: int
+    data_class: str
+    backing: np.ndarray  # 1-D uint8 view of the storage
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """Allocator + functional load/store over named regions."""
+
+    def __init__(self, base: int = 0x1000_0000) -> None:
+        self._next = base
+        self._regions: List[Region] = []
+        self._bases: List[int] = []
+        self._by_name: Dict[str, Region] = {}
+
+    # -- allocation -------------------------------------------------------
+
+    def alloc(self, name: str, nbytes: int,
+              data_class: str = "other") -> Region:
+        """Allocate ``nbytes`` of zeroed, line-aligned storage."""
+        if name in self._by_name:
+            raise ValueError(f"region {name!r} already allocated")
+        if data_class not in DATA_CLASSES:
+            raise ValueError(f"unknown data class {data_class!r}")
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        size = max(1, nbytes)
+        backing = np.zeros(size, dtype=np.uint8)
+        region = Region(name, self._next, size, data_class, backing)
+        self._regions.append(region)
+        self._bases.append(region.base)
+        self._by_name[name] = region
+        # Advance, keeping line alignment and a guard gap.
+        self._next = (region.end + 2 * LINE_BYTES - 1) & ~(LINE_BYTES - 1)
+        return region
+
+    def alloc_array(self, name: str, values: np.ndarray,
+                    data_class: str = "other") -> Region:
+        """Allocate a region initialised with ``values`` (copied)."""
+        flat = np.ascontiguousarray(values).view(np.uint8).reshape(-1)
+        region = self.alloc(name, flat.size, data_class)
+        region.backing[:flat.size] = flat
+        return region
+
+    # -- lookup -----------------------------------------------------------
+
+    def region(self, name: str) -> Region:
+        return self._by_name[name]
+
+    def region_of(self, addr: int) -> Optional[Region]:
+        """Region containing ``addr``, or ``None``."""
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index < 0:
+            return None
+        region = self._regions[index]
+        return region if region.contains(addr) else None
+
+    def data_class_of(self, addr: int) -> str:
+        region = self.region_of(addr)
+        return region.data_class if region is not None else "other"
+
+    # -- functional access ------------------------------------------------
+
+    def load(self, addr: int, nbytes: int) -> bytes:
+        region = self._require(addr, nbytes)
+        start = addr - region.base
+        return region.backing[start:start + nbytes].tobytes()
+
+    def store(self, addr: int, data: bytes) -> None:
+        region = self._require(addr, len(data))
+        start = addr - region.base
+        region.backing[start:start + len(data)] = np.frombuffer(data,
+                                                                np.uint8)
+
+    def load_elems(self, addr: int, count: int, dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        raw = self.load(addr, count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def store_elems(self, addr: int, values: np.ndarray) -> None:
+        self.store(addr, np.ascontiguousarray(values).tobytes())
+
+    def _require(self, addr: int, nbytes: int) -> Region:
+        region = self.region_of(addr)
+        if region is None:
+            raise MemoryError(f"access to unmapped address {addr:#x}")
+        if addr + nbytes > region.end:
+            raise MemoryError(
+                f"access [{addr:#x}, {addr + nbytes:#x}) crosses the end of "
+                f"region {region.name!r}"
+            )
+        return region

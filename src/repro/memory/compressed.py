@@ -1,0 +1,141 @@
+"""Compressed memory hierarchy (CMH) baseline — paper Sec V-D, Fig 22.
+
+The paper compares SpZip against a system with a compressed LLC and
+compressed main memory:
+
+* **VSC LLC** (Alameldeen & Wood): variable segment compression with 2x
+  the tags, so the cache can hold up to twice as many lines if they
+  compress; lines are stored in 8-byte segments sized by **BDI**.
+* **LCP main memory** (Pekhimenko et al.): every line within a 4 KB page
+  is compressed to the *same* slot size, so a DRAM access can fetch
+  multiple compressed lines in one transfer; pages with incompressible
+  lines fall back to uncompressed layout.
+
+Both mechanisms operate on 64-byte lines with no knowledge of application
+semantics — exactly the property that limits them on irregular data, which
+Fig 22 demonstrates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from repro.memory.cache import CacheStats
+
+LINE_BYTES = 64
+_SEGMENT_BYTES = 8
+PAGE_BYTES = 4096
+
+#: LCP slot menu: lines compress to one of these sizes or the page is
+#: stored uncompressed (values from the LCP paper's practical designs).
+LCP_SLOT_SIZES = (16, 21, 32, 44)
+
+LineSizer = Callable[[int], int]
+
+
+class CompressedLlc:
+    """VSC-style compressed cache: byte-budgeted LRU with doubled tags.
+
+    ``line_sizer`` maps a line address to its compressed size in bytes
+    (e.g. BDI over the actual line contents).  A line occupies
+    ``ceil(size/8)`` 8-byte segments; the cache holds at most
+    ``2 * capacity/64`` tags and at most ``capacity`` bytes of segments.
+    """
+
+    def __init__(self, capacity_bytes: int, line_sizer: LineSizer) -> None:
+        if capacity_bytes < LINE_BYTES:
+            raise ValueError("capacity must hold at least one line")
+        self.capacity_bytes = capacity_bytes
+        self.max_tags = 2 * (capacity_bytes // LINE_BYTES)
+        self.line_sizer = line_sizer
+        self.stats = CacheStats()
+        self._lines: "OrderedDict[int, int]" = OrderedDict()  # line -> bytes
+        self._used = 0
+
+    @staticmethod
+    def _segments(nbytes: int) -> int:
+        return -(-nbytes // _SEGMENT_BYTES) * _SEGMENT_BYTES
+
+    def access(self, line: int, write: bool = False) -> bool:
+        if line in self._lines:
+            self.stats.hits += 1
+            self._lines.move_to_end(line)
+            if write:
+                # A write can change the compressed size; re-size the line.
+                new_size = self._segments(
+                    min(LINE_BYTES, self.line_sizer(line)))
+                self._used += new_size - self._lines[line]
+                self._lines[line] = new_size
+                self._evict_until_fits()
+            return True
+        self.stats.misses += 1
+        size = self._segments(min(LINE_BYTES, self.line_sizer(line)))
+        self._lines[line] = size
+        self._used += size
+        self._evict_until_fits()
+        return False
+
+    def _evict_until_fits(self) -> None:
+        while (self._used > self.capacity_bytes
+               or len(self._lines) > self.max_tags):
+            victim, size = self._lines.popitem(last=False)
+            self._used -= size
+            self.stats.evictions += 1
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._lines)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def effective_capacity_ratio(self) -> float:
+        """How much bigger the cache currently *acts* than its budget."""
+        if not self._lines:
+            return 1.0
+        return (len(self._lines) * LINE_BYTES) / self.capacity_bytes
+
+
+class LcpMemory:
+    """LCP main-memory model: per-page uniform compressed line slots.
+
+    For each 4 KB page the model receives the BDI sizes of its 64 lines
+    and chooses the smallest slot from :data:`LCP_SLOT_SIZES` that fits
+    *every* line; if none fits, the page is stored (and transferred)
+    uncompressed.  ``fetch_bytes`` is then the per-line DRAM transfer cost,
+    which is how LCP saves bandwidth (several compressed lines ride in one
+    64-byte transfer).
+    """
+
+    def __init__(self) -> None:
+        self._page_slot: Dict[int, int] = {}
+
+    def set_page_lines(self, page: int, line_sizes) -> int:
+        """Install a page's line sizes; returns the chosen slot size."""
+        worst = max(line_sizes)
+        slot = LINE_BYTES
+        for candidate in LCP_SLOT_SIZES:
+            if worst <= candidate:
+                slot = candidate
+                break
+        self._page_slot[page] = slot
+        return slot
+
+    def slot_of(self, page: int) -> int:
+        return self._page_slot.get(page, LINE_BYTES)
+
+    def fetch_bytes(self, line_addr: int) -> int:
+        """DRAM bytes actually moved to deliver one 64-byte line."""
+        return self.slot_of(line_addr * LINE_BYTES // PAGE_BYTES)
+
+    def page_ratio(self, page: int) -> float:
+        return LINE_BYTES / self.slot_of(page)
+
+    def average_fetch_ratio(self) -> float:
+        """Mean traffic reduction across installed pages (1.0 = none)."""
+        if not self._page_slot:
+            return 1.0
+        total = sum(LINE_BYTES / slot for slot in self._page_slot.values())
+        return total / len(self._page_slot)

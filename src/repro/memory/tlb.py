@@ -1,0 +1,139 @@
+"""Address translation: TLB + page table (paper Sec III-D).
+
+"SpZip operates on virtual addresses... fetcher and compressor use the
+core's L2 TLB.  If a unit causes a page fault, it interrupts the core, so
+the OS can handle the page fault.  The unit stops issuing accesses after
+a fault, and the OS reactivates it after the fault is handled."
+
+The model provides:
+
+* :class:`Tlb` — a set-associative translation cache (defaults shaped
+  like a Haswell L2 TLB: 1024 entries, 8-way, 4 KB pages) with hit/miss
+  accounting and a page-walk latency;
+* :class:`PageTable` — present/absent virtual pages, with fault counting;
+* :class:`TranslatingPort` — wraps an engine memory port: every access
+  pays translation (TLB hit or walk), and a touch of a non-present page
+  raises :class:`PageFault` — which the engine driver surfaces exactly
+  like the paper's interrupt-and-quiesce protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+PAGE_BYTES = 4096
+
+
+class PageFault(Exception):
+    """Access touched a non-present page; the OS must map it."""
+
+    def __init__(self, vpage: int) -> None:
+        super().__init__(f"page fault on virtual page {vpage:#x}")
+        self.vpage = vpage
+
+
+class PageTable:
+    """Present/absent tracking for virtual pages."""
+
+    def __init__(self, populate_on_fault: bool = False) -> None:
+        self._present: Dict[int, bool] = {}
+        self.populate_on_fault = populate_on_fault
+        self.faults = 0
+
+    def map_range(self, addr: int, nbytes: int) -> None:
+        first = addr // PAGE_BYTES
+        last = (addr + max(1, nbytes) - 1) // PAGE_BYTES
+        for vpage in range(first, last + 1):
+            self._present[vpage] = True
+
+    def unmap_page(self, vpage: int) -> None:
+        self._present.pop(vpage, None)
+
+    def is_present(self, vpage: int) -> bool:
+        return self._present.get(vpage, False)
+
+    def translate(self, vpage: int) -> int:
+        """Returns the frame (identity-mapped model) or raises."""
+        if not self.is_present(vpage):
+            self.faults += 1
+            if self.populate_on_fault:
+                self._present[vpage] = True
+            raise PageFault(vpage)
+        return vpage
+
+
+class Tlb:
+    """Set-associative TLB with LRU replacement (Haswell-L2-TLB shape)."""
+
+    def __init__(self, entries: int = 1024, ways: int = 8,
+                 walk_latency: int = 35) -> None:
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self.walk_latency = walk_latency
+        self.num_sets = entries // ways
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpage: int) -> bool:
+        """Translate; returns True on hit, inserting on miss (LRU)."""
+        bucket = self._sets[vpage % self.num_sets]
+        if vpage in bucket:
+            bucket.remove(vpage)
+            bucket.append(vpage)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(bucket) >= self.ways:
+            bucket.pop(0)
+        bucket.append(vpage)
+        return False
+
+    def flush(self) -> None:
+        """Full shootdown (context switch / unmap)."""
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class TranslatingPort:
+    """Memory port wrapper adding address translation.
+
+    ``on_fault`` (if given) is invoked with the faulting page and may map
+    it (returning True) — modelling the OS handling the interrupt before
+    reactivating the unit; otherwise :class:`PageFault` propagates.
+    """
+
+    def __init__(self, port: Callable[[int, int, bool], int],
+                 tlb: Optional[Tlb] = None,
+                 page_table: Optional[PageTable] = None,
+                 on_fault: Optional[Callable[[int], bool]] = None) -> None:
+        self.port = port
+        self.tlb = tlb if tlb is not None else Tlb()
+        self.page_table = page_table if page_table is not None \
+            else PageTable(populate_on_fault=True)
+        self.on_fault = on_fault
+        self.translation_cycles = 0
+
+    def __call__(self, addr: int, nbytes: int, write: bool) -> int:
+        latency = 0
+        first = addr // PAGE_BYTES
+        last = (addr + max(1, nbytes) - 1) // PAGE_BYTES
+        for vpage in range(first, last + 1):
+            if not self.tlb.lookup(vpage):
+                latency += self.tlb.walk_latency
+                self.translation_cycles += self.tlb.walk_latency
+            if not self.page_table.is_present(vpage):
+                if self.on_fault is not None and self.on_fault(vpage):
+                    self.page_table.map_range(vpage * PAGE_BYTES, 1)
+                else:
+                    try:
+                        self.page_table.translate(vpage)
+                    except PageFault:
+                        raise
+        return latency + self.port(addr, nbytes, write)

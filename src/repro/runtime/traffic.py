@@ -1,0 +1,539 @@
+"""Per-iteration traffic profiling — the shared core of all strategies.
+
+For each recorded iteration of a workload this module measures, once,
+every quantity the execution strategies need to cost their memory
+behaviour:
+
+* line-granular adjacency footprints (offsets + neighbour rows), plus the
+  *measured* compressed size of the same rows under the paper's delta
+  byte-code (over virtual paper-scale ids, see
+  :mod:`repro.graph.idspace`);
+* source-vertex and frontier footprints, raw and compressed;
+* the destination-vertex scatter stream of Push, replayed through an
+  LLC-sized LRU cache (misses and dirty writebacks);
+* Update Batching's bins: raw update bytes and the measured compressed
+  size of 32-update chunks (ids delta-coded after the order-insensitive
+  sort; payload values under best-of delta/BPC);
+* PHI's in-cache coalescing, replayed with an LLC-sized buffer of update
+  lines, producing the spilled-update stream and its compressed size.
+
+Profiles are deterministic functions of (workload, iteration, model
+config); the runner memoizes them so all six schemes share one profiling
+pass.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compression import bpc_chunk_encoded_sizes
+from repro.compression.delta import _varint_sizes, _zigzag_u64
+from repro.config import SystemConfig
+from repro.graph.csr import CsrGraph
+from repro.graph.idspace import expand_ids
+from repro.memory.address import LINE_BYTES
+from repro.runtime.workload import Iteration, Workload
+
+#: Compression chunk length (paper Sec III-C: 32 elements).
+CHUNK = 32
+
+
+@dataclass
+class ModelConfig:
+    """Knobs of the scheme-level model."""
+
+    system: SystemConfig
+    #: id-space expansion factor (the dataset scale; see idspace.py).
+    id_scale: int = 4096
+    #: fraction of the LLC a bin's destination slice may occupy.
+    bin_llc_fraction: float = 0.5
+    #: apply the order-insensitive sorting optimization to binned updates.
+    sort_updates: bool = True
+
+    @property
+    def llc_lines(self) -> int:
+        return self.system.llc.num_lines
+
+    def vertices_per_bin(self, dst_value_bytes: int) -> int:
+        budget = self.system.llc.size_bytes * self.bin_llc_fraction
+        return max(1, int(budget // max(1, dst_value_bytes)))
+
+
+@dataclass
+class IterationProfile:
+    """Everything the strategies need to know about one iteration."""
+
+    weight: float
+    num_sources: int
+    num_edges: int
+    # Adjacency structure.
+    offsets_bytes: int
+    neigh_bytes: int
+    neigh_bytes_compressed: int
+    edge_value_bytes: int
+    edge_value_bytes_compressed: int
+    # Source vertex data.
+    src_bytes: int
+    src_bytes_compressed: int
+    # Frontier (zero for all-active).
+    frontier_bytes: int
+    frontier_bytes_compressed: int
+    # Push destination scatter (LLC-sized LRU replay).
+    push_dest_read_bytes: int
+    push_dest_write_bytes: int
+    push_dest_misses: int
+    # Update Batching.
+    num_bins: int
+    update_bytes: int
+    update_bytes_compressed: int
+    update_bytes_compressed_unsorted: int
+    ub_dest_bytes: int
+    ub_dest_bytes_compressed: int
+    # PHI coalescing.
+    phi_spilled_updates: int
+    phi_update_bytes: int
+    phi_update_bytes_compressed: int
+    # Pull (destination-stationary) gather; only meaningful when the
+    # iteration is all-active (direction-optimizing runtimes use Push
+    # for sparse frontiers).
+    pull_gather_misses: int = 0
+    pull_gather_read_bytes: int = 0
+    pull_adj_bytes: int = 0
+    pull_adj_bytes_compressed: int = 0
+    #: Work-stealing load-imbalance factor (Sec III-D) for this
+    #: iteration's active set; scales compute, not traffic.
+    load_imbalance: float = 1.0
+
+
+# --------------------------------------------------------------------------
+# Vectorized compressed-size helpers
+# --------------------------------------------------------------------------
+
+def _delta_sizes_grouped(values_u64: np.ndarray,
+                         group_starts: np.ndarray) -> np.ndarray:
+    """Byte-code delta size of each group (rows/chunks) in one pass.
+
+    ``group_starts`` are indices into ``values_u64`` (ascending, first 0).
+    Within each group the first element is absolute, the rest are wrapped
+    deltas — identical to ``DeltaCodec.encoded_size`` per group.
+    """
+    if values_u64.size == 0:
+        return np.zeros(len(group_starts), dtype=np.int64)
+    signed = values_u64.view(np.int64)
+    deltas = np.empty_like(signed)
+    deltas[0] = 0
+    np.subtract(signed[1:], signed[:-1], out=deltas[1:])
+    zz = _zigzag_u64(deltas)
+    # First element of each group is stored absolutely (zigzag of value).
+    first_vals = values_u64[group_starts]
+    zz[group_starts] = (first_vals << np.uint64(1))
+    sizes = _varint_sizes(zz)
+    return np.add.reduceat(sizes, group_starts)
+
+
+def gather_rows(graph: CsrGraph, sources: np.ndarray) -> np.ndarray:
+    """The sources' neighbour ids, back to back, fully vectorized."""
+    degrees = graph.out_degrees()
+    if sources.size >= graph.num_vertices:
+        return graph.neighbors
+    deg = degrees[sources]
+    total = int(deg.sum())
+    if total == 0:
+        return np.empty(0, dtype=graph.neighbors.dtype)
+    # idx[k] = offsets[src] + position-within-row, no Python loop.
+    cum = np.concatenate(([0], np.cumsum(deg)[:-1]))
+    idx = (np.repeat(graph.offsets[sources] - cum, deg)
+           + np.arange(total, dtype=np.int64))
+    return graph.neighbors[idx]
+
+
+def rows_compressed_bytes(graph: CsrGraph, sources: np.ndarray,
+                          id_scale: int) -> int:
+    """Measured per-row delta-compressed size of the sources' rows.
+
+    Per-row raw fallback applies (a row never costs more than raw + one
+    flag byte), matching real formats like Ligra+ byte codes.
+    """
+    deg = graph.out_degrees()[sources]
+    deg = deg[deg > 0]
+    if deg.size == 0:
+        return 0
+    ids = gather_rows(graph, sources)
+    expanded = expand_ids(ids, id_scale)
+    group_starts = np.concatenate(([0], np.cumsum(deg)[:-1])).astype(
+        np.int64)
+    sizes = _delta_sizes_grouped(expanded, group_starts)
+    raw = deg * 4 + 1
+    return int(np.minimum(sizes, raw).sum())
+
+
+def chunked_ids_values_compressed(ids: np.ndarray, values: np.ndarray,
+                                  id_scale: int, sort: bool,
+                                  chunk: int = CHUNK) -> int:
+    """Measured compressed size of (id, payload) update chunks.
+
+    Each ``chunk`` of updates compresses as: destination ids delta-coded
+    (optionally sorted first — the order-insensitive optimization), plus
+    the payload values under the best of delta and BPC, permuted along
+    with their ids.  This is what the Fig 14 pipeline produces.
+    """
+    n = ids.size
+    if n == 0:
+        return 0
+    pad = (-n) % chunk
+    ids64 = expand_ids(ids, id_scale)
+    if pad:
+        ids64 = np.concatenate([ids64, np.full(pad, ids64[-1],
+                                               dtype=np.uint64)])
+    table = ids64.reshape(-1, chunk)
+    if values.size:
+        vals = np.ascontiguousarray(values)
+        vbits = vals.view(np.dtype(f"u{vals.dtype.itemsize}"))
+        if pad:
+            vbits = np.concatenate([vbits,
+                                    np.full(pad, vbits[-1],
+                                            dtype=vbits.dtype)])
+        vtable = vbits.reshape(-1, chunk)
+    else:
+        vtable = None
+    if sort:
+        order = np.argsort(table, axis=1, kind="stable")
+        table = np.take_along_axis(table, order, axis=1)
+        if vtable is not None:
+            vtable = np.take_along_axis(vtable, order, axis=1)
+    # ids: delta byte codes per chunk, raw fallback.
+    flat = table.reshape(-1)
+    group_starts = np.arange(0, flat.size, chunk, dtype=np.int64)
+    id_sizes = _delta_sizes_grouped(flat, group_starts)
+    id_sizes = np.minimum(id_sizes, chunk * 4 + 1)
+    total = int(id_sizes.sum())
+    # payload values: best of BPC and delta per whole stream.
+    if vtable is not None:
+        vflat = vtable.reshape(-1)
+        bpc = int(bpc_chunk_encoded_sizes(vflat, chunk).sum())
+        delta = int(np.minimum(
+            _delta_sizes_grouped(vflat.astype(np.uint64), group_starts),
+            chunk * vflat.dtype.itemsize + 1).sum())
+        total += min(bpc, delta)
+    # Remove the padding's contribution proportionally.
+    if pad:
+        total = int(total * (n / (n + pad)))
+    return total
+
+
+def array_compressed_bytes(values: Optional[np.ndarray],
+                           chunk: int = CHUNK) -> int:
+    """Best-of chunked compressed size of a vertex-data array."""
+    if values is None or values.size == 0:
+        return 0
+    vbits = np.ascontiguousarray(values).view(
+        np.dtype(f"u{values.dtype.itemsize}"))
+    group_starts = np.arange(0, vbits.size, chunk, dtype=np.int64)
+    delta = int(np.minimum(
+        _delta_sizes_grouped(vbits.astype(np.uint64), group_starts),
+        np.diff(np.concatenate([group_starts, [vbits.size]]))
+        * vbits.dtype.itemsize + 1).sum())
+    bpc = int(bpc_chunk_encoded_sizes(vbits, chunk).sum())
+    raw = vbits.size * vbits.dtype.itemsize
+    return min(delta, bpc, raw)
+
+
+# --------------------------------------------------------------------------
+# Cache replays
+# --------------------------------------------------------------------------
+
+def _lru_scatter(lines: np.ndarray, capacity: int) -> Tuple[int, int]:
+    """Replay a read-modify-write scatter stream through an LRU cache.
+
+    Returns (misses, dirty writebacks incl. final flush).
+    """
+    cache: "OrderedDict[int, bool]" = OrderedDict()
+    misses = 0
+    writebacks = 0
+    for line in lines.tolist():
+        if line in cache:
+            cache.move_to_end(line)
+        else:
+            misses += 1
+            if len(cache) >= capacity:
+                cache.popitem(last=False)
+                writebacks += 1  # RMW data is always dirty
+            cache[line] = True
+    writebacks += len(cache)  # final flush of dirty lines
+    return misses, writebacks
+
+
+def _phi_coalesce(dsts: np.ndarray, values: np.ndarray,
+                  dst_value_bytes: int, capacity_lines: int
+                  ) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Replay PHI's in-cache update coalescing.
+
+    Updates to the same destination line coalesce while the line stays
+    resident; evictions (and the final flush) spill the line's distinct
+    updates.  Returns (spilled dst ids, spilled values, spilled lines).
+    """
+    per_line = max(1, LINE_BYTES // max(4, dst_value_bytes + 4))
+    cache: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+    spilled_ids: List[int] = []
+    spilled_vals: List[int] = []
+    spilled_lines = 0
+    has_values = values.size == dsts.size
+    vals_iter = values if has_values else np.zeros(dsts.size,
+                                                   dtype=np.uint64)
+    vbits = np.ascontiguousarray(vals_iter).view(
+        np.dtype(f"u{vals_iter.dtype.itemsize}")).astype(np.uint64)
+    for dst, val in zip(dsts.tolist(), vbits.tolist()):
+        line = dst // per_line
+        bucket = cache.get(line)
+        if bucket is None:
+            if len(cache) >= capacity_lines:
+                _evicted, contents = cache.popitem(last=False)
+                spilled_lines += 1
+                spilled_ids.extend(contents.keys())
+                spilled_vals.extend(contents.values())
+            bucket = {}
+            cache[line] = bucket
+        else:
+            cache.move_to_end(line)
+        bucket[dst] = val  # coalesce: commutative update aggregates
+    for _line, contents in cache.items():
+        spilled_lines += 1
+        spilled_ids.extend(contents.keys())
+        spilled_vals.extend(contents.values())
+    return (np.array(spilled_ids, dtype=np.uint32),
+            np.array(spilled_vals, dtype=np.uint64),
+            spilled_lines)
+
+
+# --------------------------------------------------------------------------
+# Line-granular footprints
+# --------------------------------------------------------------------------
+
+def _row_line_bytes(graph: CsrGraph, sources: np.ndarray,
+                    elem_bytes: int = 4) -> int:
+    """Line-granular bytes to fetch the sources' neighbour rows."""
+    if sources.size == 0:
+        return 0
+    if sources.size >= graph.num_vertices * 0.5:
+        # Near-contiguous scan of the whole neighbours array.
+        return _ceil_lines(graph.num_edges * elem_bytes)
+    starts = graph.offsets[sources] * elem_bytes
+    ends = graph.offsets[sources + 1] * elem_bytes
+    nonempty = ends > starts
+    lines = (ends[nonempty] - 1) // LINE_BYTES \
+        - starts[nonempty] // LINE_BYTES + 1
+    return int(lines.sum()) * LINE_BYTES
+
+
+def _scattered_line_bytes(indices: np.ndarray, elem_bytes: int) -> int:
+    """Distinct-line bytes for scattered single-element reads."""
+    if indices.size == 0:
+        return 0
+    lines = np.unique(indices.astype(np.int64) * elem_bytes // LINE_BYTES)
+    return int(lines.size) * LINE_BYTES
+
+
+def _ceil_lines(nbytes: float) -> int:
+    return int(-(-nbytes // LINE_BYTES) * LINE_BYTES)
+
+
+# --------------------------------------------------------------------------
+# The profile builder
+# --------------------------------------------------------------------------
+
+def profile_iteration(workload: Workload, iteration: Iteration,
+                      cfg: ModelConfig) -> IterationProfile:
+    """Measure one iteration's memory quantities (see module docstring)."""
+    graph = workload.graph
+    sources = iteration.sources
+    degrees = graph.out_degrees()
+    num_edges = int(degrees[sources].sum())
+    all_active = sources.size >= graph.num_vertices
+
+    # --- adjacency -------------------------------------------------------
+    if all_active:
+        offsets_bytes = _ceil_lines((graph.num_vertices + 1) * 8)
+    else:
+        offsets_bytes = _scattered_line_bytes(sources, 8)
+    neigh_bytes = _row_line_bytes(graph, sources)
+    neigh_comp = rows_compressed_bytes(graph, sources, cfg.id_scale)
+    neigh_bytes_compressed = min(_ceil_lines(neigh_comp), neigh_bytes)
+
+    edge_values = workload.extras.get("edge_values")
+    if edge_values is not None:
+        edge_value_bytes = _ceil_lines(num_edges * edge_values.dtype.itemsize)
+        edge_value_bytes_compressed = _ceil_lines(
+            array_compressed_bytes(edge_values))
+    else:
+        edge_value_bytes = 0
+        edge_value_bytes_compressed = 0
+
+    # --- source vertex data ----------------------------------------------
+    svb = workload.src_value_bytes
+    if svb == 0:
+        src_bytes = src_bytes_compressed = 0
+    elif all_active:
+        src_bytes = _ceil_lines(graph.num_vertices * svb)
+        src_bytes_compressed = min(
+            _ceil_lines(array_compressed_bytes(iteration.src_values)),
+            src_bytes)
+    else:
+        src_bytes = _scattered_line_bytes(sources, svb)
+        # Scattered accesses cannot use compressed layouts (Sec II-C).
+        src_bytes_compressed = src_bytes
+
+    # --- frontier -----------------------------------------------------------
+    if workload.frontier_based:
+        frontier_raw = _ceil_lines(sources.size * 4) * 2  # write + read
+        frontier_comp = chunked_ids_values_compressed(
+            sources.astype(np.uint32), np.empty(0, dtype=np.uint32),
+            cfg.id_scale, sort=cfg.sort_updates)
+        frontier_bytes = frontier_raw
+        frontier_bytes_compressed = min(2 * _ceil_lines(frontier_comp),
+                                        frontier_raw)
+    else:
+        frontier_bytes = frontier_bytes_compressed = 0
+
+    # --- Push destination scatter ---------------------------------------------
+    dvb = workload.dst_value_bytes
+    dsts = gather_rows(graph, sources)
+    per_line = max(1, LINE_BYTES // dvb)
+    dst_lines = (dsts.astype(np.int64) // per_line)
+    misses, writebacks = _lru_scatter(dst_lines, cfg.llc_lines)
+    push_dest_read_bytes = misses * LINE_BYTES
+    push_dest_write_bytes = writebacks * LINE_BYTES
+
+    # --- Update Batching ---------------------------------------------------------
+    vpb = cfg.vertices_per_bin(dvb)
+    num_bins = max(1, -(-graph.num_vertices // vpb))
+    update_bytes = _ceil_lines(num_edges * workload.update_bytes)
+    bins = dsts.astype(np.int64) // vpb
+    order = np.argsort(bins, kind="stable")
+    sorted_ids = dsts[order].astype(np.uint32)
+    upd_vals = iteration.update_values
+    sorted_vals = upd_vals[order] if upd_vals.size == dsts.size \
+        else np.empty(0, dtype=np.uint32)
+    update_bytes_compressed_unsorted = _ceil_lines(
+        chunked_ids_values_compressed(sorted_ids, sorted_vals,
+                                      cfg.id_scale, sort=False))
+    if cfg.sort_updates:
+        # The order-insensitive sort shrinks ids but permutes payloads;
+        # the runtime keeps whichever orientation compresses better for
+        # the structure (a static per-app choice, like best-of codecs).
+        update_bytes_compressed = min(
+            _ceil_lines(chunked_ids_values_compressed(
+                sorted_ids, sorted_vals, cfg.id_scale, sort=True)),
+            update_bytes_compressed_unsorted)
+    else:
+        update_bytes_compressed = update_bytes_compressed_unsorted
+    touched_bins = np.unique(bins)
+    ub_dest_raw = min(_ceil_lines(graph.num_vertices * dvb),
+                      int(touched_bins.size) * vpb * dvb)
+    ub_dest_bytes = 2 * ub_dest_raw  # read + write per pass
+    dst_comp = array_compressed_bytes(workload.dst_values)
+    dst_total_raw = max(1, graph.num_vertices * dvb)
+    ub_dest_bytes_compressed = int(ub_dest_bytes
+                                   * min(1.0, dst_comp / dst_total_raw))
+
+    # --- PHI -----------------------------------------------------------------
+    spilled_ids, spilled_vals, spilled_lines = _phi_coalesce(
+        dsts.astype(np.int64), upd_vals if upd_vals.size == dsts.size
+        else np.empty(0), dvb, cfg.llc_lines)
+    # Evicted lines write their *update entries* into bins (Sec II-D),
+    # which are later read back during accumulation.
+    phi_update_bytes = 2 * _ceil_lines(spilled_ids.size
+                                       * workload.update_bytes)
+    if upd_vals.size == dsts.size and upd_vals.dtype.itemsize <= 8 \
+            and spilled_vals.size:
+        spill_payload = spilled_vals.astype(
+            np.dtype(f"u{upd_vals.dtype.itemsize}") if
+            upd_vals.dtype.itemsize in (4, 8) else np.uint64)
+    else:
+        spill_payload = np.empty(0, dtype=np.uint32)
+    phi_comp = chunked_ids_values_compressed(
+        spilled_ids, spill_payload, cfg.id_scale, sort=cfg.sort_updates)
+    phi_update_bytes_compressed = min(2 * _ceil_lines(phi_comp),
+                                      phi_update_bytes)
+
+    # --- Pull (destination-stationary) gather --------------------------------
+    pull_gather_misses = 0
+    pull_gather_read_bytes = 0
+    pull_adj_bytes = 0
+    pull_adj_bytes_comp = 0
+    if all_active and workload.src_value_bytes:
+        transposed = _transpose_of(graph)
+        gather_per_line = max(1, LINE_BYTES // workload.src_value_bytes)
+        gather_lines = (transposed.neighbors.astype(np.int64)
+                        // gather_per_line)
+        pull_gather_misses, _wb = _lru_scatter(gather_lines,
+                                               cfg.llc_lines)
+        pull_gather_read_bytes = pull_gather_misses * LINE_BYTES
+        pull_adj_bytes = _row_line_bytes(
+            transposed, np.arange(transposed.num_vertices))
+        pull_adj_bytes_comp = min(
+            _ceil_lines(rows_compressed_bytes(
+                transposed, np.arange(transposed.num_vertices),
+                cfg.id_scale)),
+            pull_adj_bytes)
+
+    return IterationProfile(
+        weight=iteration.weight,
+        num_sources=int(sources.size),
+        num_edges=num_edges,
+        offsets_bytes=offsets_bytes,
+        neigh_bytes=neigh_bytes,
+        neigh_bytes_compressed=neigh_bytes_compressed,
+        edge_value_bytes=edge_value_bytes,
+        edge_value_bytes_compressed=edge_value_bytes_compressed,
+        src_bytes=src_bytes,
+        src_bytes_compressed=src_bytes_compressed,
+        frontier_bytes=frontier_bytes,
+        frontier_bytes_compressed=frontier_bytes_compressed,
+        push_dest_read_bytes=push_dest_read_bytes,
+        push_dest_write_bytes=push_dest_write_bytes,
+        push_dest_misses=misses,
+        num_bins=num_bins,
+        update_bytes=update_bytes,
+        update_bytes_compressed=update_bytes_compressed,
+        update_bytes_compressed_unsorted=update_bytes_compressed_unsorted,
+        ub_dest_bytes=ub_dest_bytes,
+        ub_dest_bytes_compressed=ub_dest_bytes_compressed,
+        phi_spilled_updates=int(spilled_ids.size),
+        phi_update_bytes=phi_update_bytes,
+        phi_update_bytes_compressed=phi_update_bytes_compressed,
+        pull_gather_misses=pull_gather_misses,
+        pull_gather_read_bytes=pull_gather_read_bytes,
+        pull_adj_bytes=pull_adj_bytes,
+        pull_adj_bytes_compressed=pull_adj_bytes_comp,
+        load_imbalance=_iteration_imbalance(degrees[sources],
+                                            cfg.system.num_cores),
+    )
+
+
+def _iteration_imbalance(active_degrees: np.ndarray,
+                         num_cores: int) -> float:
+    from repro.runtime.scheduling import iteration_imbalance
+    return iteration_imbalance(active_degrees, num_cores=num_cores)
+
+
+#: Transposes are expensive; graphs are memoized by the dataset loader,
+#: so caching by object id is safe for a session.
+_TRANSPOSE_CACHE: Dict[int, CsrGraph] = {}
+
+
+def _transpose_of(graph: CsrGraph) -> CsrGraph:
+    key = id(graph)
+    if key not in _TRANSPOSE_CACHE:
+        _TRANSPOSE_CACHE[key] = graph.transpose()
+    return _TRANSPOSE_CACHE[key]
+
+
+def profile_workload(workload: Workload,
+                     cfg: ModelConfig) -> List[IterationProfile]:
+    """Profile every recorded iteration."""
+    return [profile_iteration(workload, it, cfg)
+            for it in workload.iterations]

@@ -1,0 +1,37 @@
+"""Simulation layer: metrics, timing, and the experiment runner."""
+
+from repro.sim.metrics import (
+    TRAFFIC_CLASSES,
+    RunMetrics,
+    gmean_speedups,
+    merge_traffic,
+)
+from repro.sim.runner import Runner
+from repro.sim.sweeps import bandwidth_sweep, core_sweep, llc_sweep
+from repro.sim.timing import (
+    MISS_LATENCY,
+    RANDOM_BW_DERATE,
+    SCHEME_COSTS,
+    PhaseWork,
+    SchemeCosts,
+    effective_bytes_per_cycle,
+    phase_cycles,
+)
+
+__all__ = [
+    "MISS_LATENCY",
+    "PhaseWork",
+    "RANDOM_BW_DERATE",
+    "RunMetrics",
+    "Runner",
+    "bandwidth_sweep",
+    "core_sweep",
+    "SCHEME_COSTS",
+    "SchemeCosts",
+    "TRAFFIC_CLASSES",
+    "effective_bytes_per_cycle",
+    "gmean_speedups",
+    "llc_sweep",
+    "merge_traffic",
+    "phase_cycles",
+]

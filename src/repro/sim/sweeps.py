@@ -1,0 +1,128 @@
+"""Sensitivity sweeps over system parameters.
+
+Not paper figures — response-surface tools a user of the model reaches
+for next: how do the schemes respond to more memory bandwidth, a bigger
+LLC, or more cores?  Each sweep reruns the scheme simulator with one
+knob scaled, against shared workload profiles where possible.
+
+The bandwidth sweep answers the paper's implicit question directly:
+under scarce bandwidth every scheme is traffic-limited (advantage =
+traffic ratio); as bandwidth grows, software Push hits its compute/stall
+floor first, widening SpZip's lead until both saturate — at which point
+extra bandwidth buys nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import Runner
+
+
+def _sim_tools():
+    # Imported lazily: repro.runtime pulls repro.sim.metrics, so a
+    # module-level import here would be circular via repro.sim.__init__.
+    from repro.runtime.strategies import simulate_scheme
+    from repro.runtime.traffic import ModelConfig, profile_workload
+    return simulate_scheme, ModelConfig, profile_workload
+
+
+def bandwidth_sweep(runner: Runner, app: str, dataset: str,
+                    preprocessing: str = "none",
+                    factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+                    schemes: Sequence[str] = ("push", "phi",
+                                              "phi+spzip"),
+                    ) -> List[Dict[str, object]]:
+    """Rerun schemes with DRAM bandwidth scaled by each factor.
+
+    Traffic profiles are bandwidth-independent, so they are shared; only
+    the timing changes.
+    """
+    simulate_scheme, ModelConfig, profile_workload = _sim_tools()
+    workload = runner.workload(app, dataset, preprocessing)
+    cfg = runner.config_for(workload)
+    profiles = profile_workload(workload, cfg)
+    rows: List[Dict[str, object]] = []
+    for factor in factors:
+        memory = replace(cfg.system.memory,
+                         gb_per_sec_per_controller=cfg.system.memory
+                         .gb_per_sec_per_controller * factor)
+        system = replace(cfg.system, memory=memory)
+        swept = ModelConfig(system=system, id_scale=cfg.id_scale,
+                            bin_llc_fraction=cfg.bin_llc_fraction,
+                            sort_updates=cfg.sort_updates)
+        runs = {scheme: simulate_scheme(workload, profiles, scheme,
+                                        swept, dataset=dataset,
+                                        preprocessing=preprocessing)
+                for scheme in schemes}
+        row: Dict[str, object] = {"bandwidth_factor": factor}
+        base = runs[schemes[0]]
+        for scheme in schemes:
+            row[scheme] = runs[scheme].speedup_over(base)
+        rows.append(row)
+    return rows
+
+
+def llc_sweep(runner: Runner, app: str, dataset: str,
+              preprocessing: str = "none",
+              factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+              schemes: Sequence[str] = ("push", "phi+spzip"),
+              ) -> List[Dict[str, object]]:
+    """Rerun schemes with the model LLC scaled by each factor.
+
+    Capacity changes the cache replays, so profiles are rebuilt per
+    point (the expensive sweep).
+    """
+    simulate_scheme, ModelConfig, profile_workload = _sim_tools()
+    workload = runner.workload(app, dataset, preprocessing)
+    base_cfg = runner.config_for(workload)
+    rows: List[Dict[str, object]] = []
+    for factor in factors:
+        granule = base_cfg.system.llc.ways * base_cfg.system.llc.line_bytes
+        size = max(granule,
+                   int(base_cfg.system.llc.size_bytes * factor)
+                   // granule * granule)
+        llc = replace(base_cfg.system.llc, size_bytes=size)
+        system = replace(base_cfg.system, llc=llc)
+        cfg = ModelConfig(system=system, id_scale=base_cfg.id_scale)
+        profiles = profile_workload(workload, cfg)
+        runs = {scheme: simulate_scheme(workload, profiles, scheme, cfg,
+                                        dataset=dataset,
+                                        preprocessing=preprocessing)
+                for scheme in schemes}
+        row: Dict[str, object] = {"llc_factor": factor,
+                                  "llc_bytes": size}
+        base = runs[schemes[0]]
+        for scheme in schemes:
+            row[scheme] = runs[scheme].speedup_over(base)
+        rows.append(row)
+    return rows
+
+
+def core_sweep(runner: Runner, app: str, dataset: str,
+               preprocessing: str = "none",
+               counts: Sequence[int] = (4, 8, 16, 32),
+               scheme: str = "push") -> List[Dict[str, object]]:
+    """Scale core count; shows where each scheme stops scaling (the
+    compute-vs-bandwidth crossover)."""
+    simulate_scheme, ModelConfig, profile_workload = _sim_tools()
+    workload = runner.workload(app, dataset, preprocessing)
+    cfg = runner.config_for(workload)
+    profiles = profile_workload(workload, cfg)
+    rows: List[Dict[str, object]] = []
+    base_cycles: Optional[float] = None
+    for count in counts:
+        system = replace(cfg.system, num_cores=count)
+        swept = ModelConfig(system=system, id_scale=cfg.id_scale)
+        run: RunMetrics = simulate_scheme(workload, profiles, scheme,
+                                          swept, dataset=dataset,
+                                          preprocessing=preprocessing)
+        if base_cycles is None:
+            base_cycles = run.cycles
+        rows.append({"cores": count,
+                     "speedup": base_cycles / run.cycles,
+                     "bound": "memory" if run.bandwidth_bound
+                     else "core"})
+    return rows

@@ -1,0 +1,150 @@
+"""Bottleneck timing model (DESIGN.md Sec 4).
+
+The paper's own analysis motivates a roofline-style model: SpZip schemes
+and PHI "saturate memory bandwidth", while software "Push and UB often do
+not saturate memory bandwidth, as traversals bottleneck cores" (Sec V-A),
+and Push additionally serializes on atomic read-modify-writes to shared
+destination data.  A phase's runtime is the slower of:
+
+* the cores: instruction work plus exposed miss stalls, divided across
+  the 16 cores, and
+* the memory system: off-chip bytes divided by the achievable bandwidth,
+  de-rated when traffic is dominated by scattered (row-miss) accesses.
+
+Per-scheme cost constants live in :data:`SCHEME_COSTS`; they encode the
+mechanisms the paper describes rather than fitted curves:
+
+* software Push pays traversal instructions per edge and a large exposed
+  stall per destination miss, because atomics cap memory-level
+  parallelism;
+* SpZip variants pay only dequeue-and-update work, and decoupled
+  fetch/prefetch hides nearly all miss latency (Sec III-B);
+* UB pays binning arithmetic but its writes are streaming, so stalls are
+  small; its accumulation scatters hit the cache by construction;
+* PHI offloads update application to the cache hierarchy, so cores only
+  compute-and-push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import SystemConfig
+
+#: Effective-bandwidth multiplier when traffic is fully scattered
+#: (row-buffer misses; mirrors repro.memory.dram._ROW_MISS_DERATE).
+RANDOM_BW_DERATE = 0.55
+
+#: Loaded DRAM round-trip seen by a stalled core (cycles).
+MISS_LATENCY = 200
+
+
+@dataclass(frozen=True)
+class SchemeCosts:
+    """Per-scheme core-side cost constants (cycles, per event)."""
+
+    #: plain instruction work per edge processed (traversal + update).
+    cycles_per_edge: float
+    #: instruction work per active vertex (loop/frontier overhead).
+    cycles_per_vertex: float
+    #: exposed stall cycles per off-chip destination miss (after MLP).
+    stall_per_miss: float
+    #: extra per-update work during the accumulation phase (UB/PHI).
+    cycles_per_update: float = 0.0
+    #: achieved fraction of peak bandwidth on *scattered* traffic.
+    #: Demand misses from stalled cores arrive a few at a time (row-buffer
+    #: thrashing); decoupled engines issue deep request streams the
+    #: FR-FCFS scheduler can reorder for row hits and bank parallelism.
+    random_derate: float = RANDOM_BW_DERATE
+
+
+#: Mechanism-derived constants (see module docstring).
+SCHEME_COSTS: Dict[str, SchemeCosts] = {
+    # Software Push: traversal (~8 ops/edge) plus a contended atomic RMW
+    # (~14 cycles); the atomic's fence serializes destination misses, so
+    # a miss exposes its full loaded latency plus queueing on hot lines.
+    "push": SchemeCosts(cycles_per_edge=20.0, cycles_per_vertex=12.0,
+                        stall_per_miss=215.0),
+    # Push+SpZip: the fetcher walks the structure and prefetches
+    # destinations into the L2, but the atomics stay on the core
+    # (Sec II-C) and now mostly hit the L2.
+    "push-spzip": SchemeCosts(cycles_per_edge=14.0, cycles_per_vertex=3.0,
+                              stall_per_miss=10.0, random_derate=0.80),
+    # UB: binning arithmetic + buffered sequential writes (binning), then
+    # cache-resident scatter in accumulation -- no atomics, few stalls.
+    "ub": SchemeCosts(cycles_per_edge=8.0, cycles_per_vertex=8.0,
+                      stall_per_miss=8.0, cycles_per_update=6.0),
+    # UB+SpZip: fetcher feeds the binning loop, compressor does the
+    # binning writes; accumulation dequeues decompressed updates.
+    "ub-spzip": SchemeCosts(cycles_per_edge=3.0, cycles_per_vertex=3.0,
+                            stall_per_miss=2.0, cycles_per_update=3.0,
+                            random_derate=0.80),
+    # PHI: cores just compute and push updates into the hierarchy.
+    "phi": SchemeCosts(cycles_per_edge=4.0, cycles_per_vertex=6.0,
+                       stall_per_miss=4.0, cycles_per_update=3.0),
+    # PHI+SpZip: traversal offloaded too.
+    "phi-spzip": SchemeCosts(cycles_per_edge=2.0, cycles_per_vertex=2.5,
+                             stall_per_miss=1.0, cycles_per_update=2.0,
+                             random_derate=0.80),
+    # Pull (extension): gather loads instead of atomic scatters -- no
+    # fences, so OOO cores overlap gather misses well; traversal work
+    # like Push's minus the atomic.
+    "pull": SchemeCosts(cycles_per_edge=10.0, cycles_per_vertex=12.0,
+                        stall_per_miss=40.0),
+    # Pull+SpZip: the fetcher walks in-edges and prefetches/queues the
+    # gathered values, leaving a plain add on the core.
+    "pull-spzip": SchemeCosts(cycles_per_edge=3.0, cycles_per_vertex=3.0,
+                              stall_per_miss=4.0, random_derate=0.80),
+}
+
+
+@dataclass
+class PhaseWork:
+    """Aggregated work of one simulated phase (all cores together)."""
+
+    edges: float = 0.0
+    vertices: float = 0.0
+    updates: float = 0.0
+    dest_misses: float = 0.0
+    seq_bytes: float = 0.0
+    rand_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.seq_bytes + self.rand_bytes
+
+    def add(self, other: "PhaseWork") -> None:
+        self.edges += other.edges
+        self.vertices += other.vertices
+        self.updates += other.updates
+        self.dest_misses += other.dest_misses
+        self.seq_bytes += other.seq_bytes
+        self.rand_bytes += other.rand_bytes
+
+
+def effective_bytes_per_cycle(system: SystemConfig, seq_bytes: float,
+                              rand_bytes: float,
+                              random_derate: float = RANDOM_BW_DERATE
+                              ) -> float:
+    """Peak bandwidth de-rated by the scattered-traffic fraction."""
+    total = seq_bytes + rand_bytes
+    if total <= 0:
+        return system.bytes_per_cycle
+    seq_fraction = seq_bytes / total
+    derate = seq_fraction + (1.0 - seq_fraction) * random_derate
+    return system.bytes_per_cycle * derate
+
+
+def phase_cycles(work: PhaseWork, costs: SchemeCosts,
+                 system: SystemConfig):
+    """(total, compute, memory) cycles for one phase."""
+    compute = (work.edges * costs.cycles_per_edge
+               + work.vertices * costs.cycles_per_vertex
+               + work.updates * costs.cycles_per_update
+               + work.dest_misses * costs.stall_per_miss) \
+        / system.num_cores
+    bw = effective_bytes_per_cycle(system, work.seq_bytes, work.rand_bytes,
+                                   costs.random_derate)
+    memory = work.total_bytes / bw
+    return max(compute, memory), compute, memory

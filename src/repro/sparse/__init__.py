@@ -1,0 +1,5 @@
+"""Sparse linear algebra substrate for the SpMV benchmark."""
+
+from repro.sparse.matrix import SparseMatrix, make_spmv_input, spmv
+
+__all__ = ["SparseMatrix", "make_spmv_input", "spmv"]

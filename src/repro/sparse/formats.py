@@ -1,0 +1,241 @@
+"""Additional sparse formats the DCL supports (paper Sec II-B).
+
+"The DCL can also handle many other sparse formats, which recent work has
+systematized as a composition of access primitives that the DCL supports,
+including matrices in DCSR, COO, DIA, or ELL" — this module implements
+those formats over the CSR substrate, with lossless conversions both
+ways, so DCL traversal programs (see
+:func:`repro.engine.format_pipelines`) have real data to walk.
+
+Every format stores the same logical matrix; ``to_csr`` round-trips are
+pinned by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import OFFSET_DTYPE, VERTEX_DTYPE, CsrGraph
+
+
+@dataclass
+class CooMatrix:
+    """Coordinate format: parallel (row, col[, value]) arrays, row-major
+    sorted — the format edge lists arrive in."""
+
+    num_rows: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_csr(cls, csr: CsrGraph) -> "CooMatrix":
+        rows = np.repeat(np.arange(csr.num_vertices, dtype=VERTEX_DTYPE),
+                         csr.out_degrees())
+        return cls(csr.num_vertices, rows, csr.neighbors.copy(),
+                   None if csr.values is None else csr.values.copy())
+
+    def to_csr(self) -> CsrGraph:
+        return CsrGraph.from_edges(self.num_rows,
+                                   self.rows.astype(np.int64),
+                                   self.cols.astype(np.int64),
+                                   values=self.values,
+                                   dedup=False, drop_self_loops=False)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.size)
+
+    def footprint_bytes(self, value_bytes: int = 0) -> int:
+        per = 4 + 4 + (value_bytes if self.values is not None else 0)
+        return self.nnz * per
+
+
+@dataclass
+class DcsrMatrix:
+    """Doubly-compressed sparse rows: only non-empty rows are stored.
+
+    ``row_ids[i]`` is the i-th non-empty row; ``offsets`` has one entry
+    per stored row (plus the end sentinel).  The format of choice for
+    hypersparse matrices, where CSR's offsets array would dwarf the data.
+    """
+
+    num_rows: int
+    row_ids: np.ndarray
+    offsets: np.ndarray
+    cols: np.ndarray
+    values: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_csr(cls, csr: CsrGraph) -> "DcsrMatrix":
+        degrees = csr.out_degrees()
+        nonempty = np.flatnonzero(degrees > 0).astype(VERTEX_DTYPE)
+        offsets = np.concatenate(
+            ([0], np.cumsum(degrees[nonempty.astype(np.int64)]))
+        ).astype(OFFSET_DTYPE)
+        return cls(csr.num_vertices, nonempty, offsets,
+                   csr.neighbors.copy(),
+                   None if csr.values is None else csr.values.copy())
+
+    def to_csr(self) -> CsrGraph:
+        offsets = np.zeros(self.num_rows + 1, dtype=OFFSET_DTYPE)
+        lengths = np.diff(self.offsets)
+        offsets[self.row_ids.astype(np.int64) + 1] = lengths
+        np.cumsum(offsets, out=offsets)
+        return CsrGraph(offsets, self.cols, values=self.values)
+
+    @property
+    def num_stored_rows(self) -> int:
+        return int(self.row_ids.size)
+
+    def footprint_bytes(self, value_bytes: int = 0) -> int:
+        return (self.row_ids.size * 4 + self.offsets.size * 8
+                + self.cols.size * (4 + (value_bytes if self.values
+                                         is not None else 0)))
+
+
+@dataclass
+class EllMatrix:
+    """ELLPACK: fixed-width rows padded with a sentinel column.
+
+    Regular layout (``num_rows x width``) suited to vector hardware;
+    wasteful when degrees are skewed — the classic format tradeoff.
+    """
+
+    PAD = np.uint32(0xFFFFFFFF)
+
+    num_rows: int
+    width: int
+    cols: np.ndarray  # (num_rows, width), PAD-filled
+    values: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_csr(cls, csr: CsrGraph) -> "EllMatrix":
+        degrees = csr.out_degrees()
+        width = int(degrees.max()) if degrees.size else 0
+        cols = np.full((csr.num_vertices, max(1, width)), cls.PAD,
+                       dtype=VERTEX_DTYPE)
+        values = None
+        if csr.values is not None:
+            values = np.zeros((csr.num_vertices, max(1, width)),
+                              dtype=csr.values.dtype)
+        for row in range(csr.num_vertices):
+            data = csr.row(row)
+            cols[row, :data.size] = data
+            if values is not None:
+                values[row, :data.size] = csr.row_values(row)
+        return cls(csr.num_vertices, max(1, width), cols, values)
+
+    def to_csr(self) -> CsrGraph:
+        mask = self.cols != self.PAD
+        degrees = mask.sum(axis=1)
+        offsets = np.concatenate(([0], np.cumsum(degrees))).astype(
+            OFFSET_DTYPE)
+        neighbors = self.cols[mask]
+        values = self.values[mask] if self.values is not None else None
+        return CsrGraph(offsets, neighbors, values=values)
+
+    def footprint_bytes(self, value_bytes: int = 0) -> int:
+        per = 4 + (value_bytes if self.values is not None else 0)
+        return self.num_rows * self.width * per
+
+    @property
+    def padding_fraction(self) -> float:
+        stored = self.num_rows * self.width
+        real = int((self.cols != self.PAD).sum())
+        return 1.0 - real / stored if stored else 0.0
+
+
+@dataclass
+class DiaMatrix:
+    """Diagonal format: one dense array per non-empty diagonal.
+
+    ``diagonals[i]`` holds the values of offset ``offsets[i]``
+    (col - row); perfect for banded matrices like the nlp input, useless
+    for graphs.  Stores structure as a presence mask when no values are
+    attached.
+    """
+
+    num_rows: int
+    offsets: np.ndarray             # sorted diagonal offsets (col - row)
+    data: np.ndarray                # (num_diags, num_rows) float or bool
+
+    @classmethod
+    def from_csr(cls, csr: CsrGraph) -> "DiaMatrix":
+        rows = np.repeat(np.arange(csr.num_vertices, dtype=np.int64),
+                         csr.out_degrees())
+        cols = csr.neighbors.astype(np.int64)
+        diag_offsets = np.unique(cols - rows)
+        index = {int(off): i for i, off in enumerate(diag_offsets)}
+        if csr.values is not None:
+            data = np.zeros((diag_offsets.size, csr.num_vertices),
+                            dtype=np.float64)
+            for r, c, v in zip(rows.tolist(), cols.tolist(),
+                               csr.values.tolist()):
+                data[index[c - r], r] = v
+        else:
+            data = np.zeros((diag_offsets.size, csr.num_vertices),
+                            dtype=bool)
+            for r, c in zip(rows.tolist(), cols.tolist()):
+                data[index[c - r], r] = True
+        return cls(csr.num_vertices, diag_offsets, data)
+
+    def to_csr(self) -> CsrGraph:
+        edges_r = []
+        edges_c = []
+        values = [] if self.data.dtype != bool else None
+        for i, off in enumerate(self.offsets.tolist()):
+            lane = self.data[i]
+            if lane.dtype == bool:
+                rs = np.flatnonzero(lane)
+            else:
+                rs = np.flatnonzero(lane != 0)
+            cs = rs + off
+            keep = (cs >= 0) & (cs < self.num_rows)
+            edges_r.append(rs[keep])
+            edges_c.append(cs[keep])
+            if values is not None:
+                values.append(lane[rs[keep]])
+        rows = np.concatenate(edges_r) if edges_r else np.empty(0,
+                                                                np.int64)
+        cols = np.concatenate(edges_c) if edges_c else np.empty(0,
+                                                                np.int64)
+        vals = np.concatenate(values) if values else None
+        return CsrGraph.from_edges(self.num_rows, rows, cols, values=vals,
+                                   dedup=False, drop_self_loops=False)
+
+    @property
+    def num_diagonals(self) -> int:
+        return int(self.offsets.size)
+
+    def footprint_bytes(self, value_bytes: int = 8) -> int:
+        return (self.offsets.size * 8
+                + self.data.shape[0] * self.data.shape[1] * value_bytes)
+
+
+def best_format_for(csr: CsrGraph, value_bytes: int = 0) -> str:
+    """Pick the smallest-footprint format (a tuning pass would do this).
+
+    DIA only competes when the matrix concentrates on few diagonals, so
+    it is considered only below a diagonal-count threshold.
+    """
+    candidates = {
+        "csr": csr.adjacency_bytes() + csr.num_edges * value_bytes,
+        "coo": CooMatrix.from_csr(csr).footprint_bytes(value_bytes),
+        "dcsr": DcsrMatrix.from_csr(csr).footprint_bytes(value_bytes),
+    }
+    degrees = csr.out_degrees()
+    if degrees.size and degrees.max() <= 4 * max(1, degrees.mean()):
+        candidates["ell"] = EllMatrix.from_csr(csr).footprint_bytes(
+            value_bytes)
+    rows = np.repeat(np.arange(csr.num_vertices, dtype=np.int64),
+                     degrees)
+    num_diags = np.unique(csr.neighbors.astype(np.int64) - rows).size \
+        if csr.num_edges else 0
+    if 0 < num_diags <= 64:
+        candidates["dia"] = DiaMatrix.from_csr(csr).footprint_bytes(
+            max(1, value_bytes))
+    return min(candidates, key=candidates.get)

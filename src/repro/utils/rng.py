@@ -1,0 +1,26 @@
+"""Deterministic random number generation.
+
+Every stochastic component (graph generators, randomized vertex relabeling,
+workload sampling) derives its generator through :func:`make_rng` so that
+experiments are reproducible run to run, and sub-seeds are decorrelated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_GLOBAL_SEED = 0xC0FFEE
+
+
+def make_rng(*stream: object, seed: int = _GLOBAL_SEED) -> np.random.Generator:
+    """Create a generator keyed by an arbitrary stream identifier.
+
+    ``make_rng("rmat", 22)`` and ``make_rng("rmat", 23)`` are independent
+    streams; calling with the same identifiers always yields the same
+    sequence.
+    """
+    tag = "/".join(str(part) for part in stream)
+    digest = hashlib.sha256(f"{seed}:{tag}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))

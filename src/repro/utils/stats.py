@@ -1,0 +1,53 @@
+"""Small statistics helpers used by the harness and the metrics layer."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports speedups this way."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; the paper reports traffic this way."""
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic mean of empty sequence")
+    return sum(values) / len(values)
+
+
+@dataclass
+class RunningStats:
+    """Streaming count/mean/min/max accumulator."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    _values: List[float] = field(default_factory=list, repr=False)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self._values.append(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self.total / self.count
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)

@@ -1,0 +1,168 @@
+"""Correctness tests for the application reference implementations."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import bfs, connected_components, degree_count, pagerank, \
+    pagerank_delta, radii, spmv
+from repro.graph import CsrGraph, community_graph
+from repro.sparse import SparseMatrix
+
+
+def small_graph():
+    """Hand-checkable graph: 0->1->2->3, 0->2, 3->1, isolated 4."""
+    return CsrGraph.from_edges(5, [0, 0, 1, 2, 3], [1, 2, 2, 3, 1])
+
+
+def to_networkx(graph):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for v, row in graph.iter_rows():
+        for u in row:
+            g.add_edge(v, int(u))
+    return g
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        g = community_graph(200, 1200, seed_stream="app-pr")
+        scores = pagerank.reference(g)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_networkx(self):
+        g = small_graph()
+        ours = pagerank.reference(g, iterations=100)
+        theirs = nx.pagerank(to_networkx(g), alpha=pagerank.DAMPING,
+                             max_iter=200, tol=1e-12)
+        for v in range(g.num_vertices):
+            assert ours[v] == pytest.approx(theirs[v], rel=1e-3)
+
+    def test_hub_ranks_higher(self):
+        # Vertex 2 has the most in-links in small_graph.
+        scores = pagerank.reference(small_graph(), iterations=50)
+        assert scores.argmax() in (2, 3)
+
+
+class TestPageRankDelta:
+    def test_converges_to_pagerank(self):
+        g = community_graph(150, 900, seed_stream="app-prd")
+        pr = pagerank.reference(g, iterations=200,
+                                redistribute_dangling=False)
+        prd = pagerank_delta.reference(g, max_iterations=200)
+        assert np.abs(pr - prd).max() < 1e-3
+
+    def test_active_set_shrinks(self):
+        g = community_graph(300, 2000, seed_stream="app-prd2")
+        workload = pagerank_delta.build_workload(g)
+        sizes = [it.num_sources for it in workload.iterations]
+        assert sizes[0] == g.num_vertices
+        assert sizes[-1] < sizes[0]
+
+
+class TestBfs:
+    def test_matches_networkx_distances(self):
+        g = community_graph(200, 1600, seed_stream="app-bfs")
+        root = int(g.out_degrees().argmax())
+        dists, _parents = bfs.reference(g, root)
+        lengths = nx.single_source_shortest_path_length(to_networkx(g),
+                                                        root)
+        for v in range(g.num_vertices):
+            if v in lengths:
+                assert dists[v] == lengths[v]
+            else:
+                assert dists[v] == bfs.UNVISITED
+
+    def test_parents_form_valid_tree(self):
+        g = small_graph()
+        dists, parents = bfs.reference(g, root=0)
+        for v in range(g.num_vertices):
+            if dists[v] not in (0, bfs.UNVISITED):
+                parent = int(parents[v])
+                assert dists[parent] == dists[v] - 1
+                assert v in g.row(parent)
+
+    def test_workload_frontiers_partition_reached_set(self):
+        g = community_graph(200, 1600, seed_stream="app-bfs2")
+        workload = bfs.build_workload(g)
+        seen = set()
+        for it in workload.iterations:
+            frontier = set(it.sources.tolist())
+            assert not frontier & seen
+            seen |= frontier
+        dists, _ = bfs.reference(g)
+        assert len(seen) == int((dists != bfs.UNVISITED).sum())
+
+
+class TestConnectedComponents:
+    def test_matches_networkx_weak_components(self):
+        g = community_graph(150, 700, seed_stream="app-cc")
+        labels = connected_components.reference(g)
+        for comp in nx.weakly_connected_components(to_networkx(g)):
+            comp = sorted(comp)
+            expected = labels[comp[0]]
+            assert all(labels[v] == expected for v in comp)
+
+    def test_labels_are_component_minima(self):
+        labels = connected_components.reference(small_graph())
+        assert labels[0] == labels[1] == labels[2] == labels[3] == 0
+        assert labels[4] == 4
+
+    def test_workload_starts_all_active(self):
+        g = community_graph(100, 500, seed_stream="app-cc2")
+        workload = connected_components.build_workload(g)
+        assert workload.iterations[0].num_sources == g.num_vertices
+
+
+class TestRadii:
+    def test_radius_bounds(self):
+        g = community_graph(150, 1200, seed_stream="app-re")
+        radii_est = radii.reference(g)
+        reached = radii_est >= 0
+        assert reached.any()
+        # Radii estimates are at most the graph's diameter bound.
+        assert radii_est[reached].max() <= g.num_vertices
+
+    def test_sampled_sources_have_radius_zero_or_more(self):
+        g = small_graph()
+        estimates = radii.reference(g)
+        assert (estimates >= -1).all()
+
+
+class TestDegreeCount:
+    def test_matches_in_degrees(self):
+        g = community_graph(300, 2000, seed_stream="app-dc")
+        counts = degree_count.reference(g)
+        assert np.array_equal(counts, g.in_degrees().astype(np.uint32))
+
+    def test_workload_update_values_constant(self):
+        g = small_graph()
+        workload = degree_count.build_workload(g)
+        assert (workload.iterations[0].update_values == 1).all()
+
+
+class TestSpmv:
+    def test_push_form_is_transpose_multiply(self):
+        skeleton = CsrGraph(np.array([0, 1, 3, 4]),
+                            np.array([1, 0, 2, 2], dtype=np.uint32))
+        matrix = SparseMatrix(skeleton, np.array([2.0, 1.0, 3.0, 4.0]))
+        x = np.array([1.0, 2.0, 3.0])
+        y = spmv.reference_push(matrix, x)
+        # A^T x computed densely.
+        dense = np.zeros((3, 3))
+        dense[0, 1] = 2.0
+        dense[1, 0] = 1.0
+        dense[1, 2] = 3.0
+        dense[2, 2] = 4.0
+        assert np.allclose(y, dense.T @ x)
+
+    def test_workload_updates_scatter_to_push_result(self):
+        skeleton = CsrGraph(np.array([0, 1, 3, 4]),
+                            np.array([1, 0, 2, 2], dtype=np.uint32))
+        matrix = SparseMatrix(skeleton, np.array([2.0, 1.0, 3.0, 4.0]))
+        x = np.array([1.0, 2.0, 3.0])
+        workload = spmv.build_workload(matrix, x)
+        y = np.zeros(3)
+        np.add.at(y, skeleton.neighbors,
+                  workload.iterations[0].update_values)
+        assert np.allclose(y, spmv.reference_push(matrix, x))

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.app == "bfs"
+        assert args.scheme == "phi+spzip"
+
+    def test_experiment_takes_id(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.id == "table1"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15a" in out
+        assert "nibble" in out
+        assert "phi+spzip" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "DecompU" in out
+        assert "47300" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_compress_roundtrip_reported(self, capsys):
+        assert main(["compress", "--codec", "delta",
+                     "--data", "sorted-ids"]) == 0
+        out = capsys.readouterr().out
+        assert "roundtrip OK" in out
+
+    def test_compress_unknown_data(self):
+        assert main(["compress", "--data", "zeros"]) == 2
+
+    def test_traverse_small(self, capsys):
+        assert main(["traverse", "--dataset", "arb", "--rows", "40",
+                     "--scale", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "verification OK" in out
+
+    def test_simulate_small(self, capsys):
+        assert main(["simulate", "--app", "dc", "--scheme", "phi",
+                     "--dataset", "arb", "--scale", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs push" in out
+        assert "traffic by class" in out
+
+
+class TestReport:
+    def test_report_selected_experiments(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--experiments", "table1", "table2",
+                     "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# SpZip reproduction")
+        assert "## table1" in text
+        assert "| fetcher | Total | 47300 |" in text
+
+    def test_report_unknown_experiment(self):
+        import pytest as _pytest
+        with _pytest.raises(KeyError):
+            main(["report", "--experiments", "fig99"])
+
+    def test_generate_report_api(self):
+        from repro.harness import generate_report
+        text = generate_report(experiment_ids=["table2"])
+        assert "L3 cache" in text

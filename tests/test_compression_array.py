@@ -1,0 +1,145 @@
+"""Tests for the chunked compressed array (vertex-data compression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import BpcCodec, RawCodec
+from repro.compression.array import CompressedArray
+
+
+def make(values, **kwargs):
+    return CompressedArray(np.asarray(values, dtype=np.uint32), **kwargs)
+
+
+class TestReads:
+    def test_full_roundtrip(self):
+        data = np.arange(100, dtype=np.uint32) * 3
+        arr = CompressedArray(data)
+        assert np.array_equal(arr.to_numpy(), data)
+
+    def test_single_element(self):
+        arr = make(range(50))
+        assert arr.read(7)[0] == 7
+
+    def test_cross_chunk_slice(self):
+        arr = make(range(100), chunk_elems=16)
+        out = arr.read(10, 40)
+        assert out.tolist() == list(range(10, 40))
+
+    def test_empty_slice(self):
+        arr = make(range(10))
+        assert arr.read(5, 5).size == 0
+
+    def test_bounds_checked(self):
+        arr = make(range(10))
+        with pytest.raises(IndexError):
+            arr.read(5, 20)
+
+    def test_only_touched_chunks_decoded(self):
+        arr = make(range(128), chunk_elems=16)
+        before = arr.chunk_decodes
+        arr.read(0, 16)
+        assert arr.chunk_decodes == before + 1
+
+
+class TestWrites:
+    def test_write_roundtrip(self):
+        arr = make(range(64), chunk_elems=16)
+        arr.write(10, np.array([1000, 1001, 1002], dtype=np.uint32))
+        assert arr.read(9, 14).tolist() == [9, 1000, 1001, 1002, 13]
+
+    def test_cross_chunk_write(self):
+        arr = make(range(64), chunk_elems=16)
+        arr.write(14, np.full(6, 7, dtype=np.uint32))
+        assert arr.read(13, 21).tolist() == [13] + [7] * 6 + [20]
+
+    def test_write_bounds(self):
+        arr = make(range(8))
+        with pytest.raises(IndexError):
+            arr.write(5, np.zeros(10, dtype=np.uint32))
+
+    def test_empty_write_noop(self):
+        arr = make(range(8))
+        arr.write(3, np.empty(0, dtype=np.uint32))
+        assert arr.to_numpy().tolist() == list(range(8))
+
+
+class TestScatterApply:
+    def test_add_updates(self):
+        arr = make([10, 20, 30, 40], chunk_elems=2)
+        arr.apply(np.array([0, 3, 0]), np.array([1, 2, 4],
+                                                dtype=np.uint32))
+        assert arr.to_numpy().tolist() == [15, 20, 30, 42]
+
+    def test_each_dirty_chunk_encoded_once(self):
+        arr = make(range(64), chunk_elems=16)
+        before = arr.chunk_encodes
+        arr.apply(np.array([1, 2, 3, 17, 18]),
+                  np.ones(5, dtype=np.uint32))
+        assert arr.chunk_encodes == before + 2
+
+    def test_minimum_op(self):
+        arr = make([9, 9, 9], chunk_elems=4)
+        arr.apply(np.array([1]), np.array([3], dtype=np.uint32),
+                  op=np.minimum)
+        assert arr.to_numpy().tolist() == [9, 3, 9]
+
+    def test_mismatched_lengths_rejected(self):
+        arr = make(range(4))
+        with pytest.raises(ValueError):
+            arr.apply(np.array([0]), np.ones(2, dtype=np.uint32))
+
+    def test_out_of_range_rejected(self):
+        arr = make(range(4))
+        with pytest.raises(IndexError):
+            arr.apply(np.array([9]), np.ones(1, dtype=np.uint32))
+
+
+class TestFootprint:
+    def test_clustered_data_compresses(self):
+        arr = make(np.cumsum(np.ones(256, dtype=np.uint64))
+                   .astype(np.uint32))
+        assert arr.compression_ratio() > 2.0
+
+    def test_ratio_improves_as_values_converge(self):
+        """The CC story: labels start distinct, converge to one value."""
+        distinct = make(np.random.default_rng(0)
+                        .permutation(256).astype(np.uint32))
+        converged = make(np.zeros(256, dtype=np.uint32))
+        assert converged.compressed_bytes < distinct.compressed_bytes
+
+    def test_alternative_codecs(self):
+        data = (1000 + np.arange(96, dtype=np.uint32))
+        for codec in (BpcCodec(), RawCodec()):
+            arr = CompressedArray(data, codec=codec)
+            assert np.array_equal(arr.to_numpy(), data)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            make(range(4), chunk_elems=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            CompressedArray(np.zeros((2, 2), dtype=np.uint32))
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 32 - 1), min_size=1,
+                    max_size=120),
+           st.data())
+    def test_random_writes_match_numpy(self, initial, data):
+        reference = np.asarray(initial, dtype=np.uint32)
+        arr = CompressedArray(reference.copy(), chunk_elems=8)
+        for _ in range(3):
+            start = data.draw(st.integers(0, len(initial) - 1))
+            length = data.draw(st.integers(0, len(initial) - start))
+            patch = np.asarray(
+                data.draw(st.lists(st.integers(0, 2 ** 32 - 1),
+                                   min_size=length, max_size=length)),
+                dtype=np.uint32)
+            arr.write(start, patch)
+            reference[start:start + length] = patch
+        assert np.array_equal(arr.to_numpy(), reference)

@@ -1,0 +1,71 @@
+"""Tests for the count-prefixed framing wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    BpcCodec,
+    CountedCodec,
+    DeltaCodec,
+    RawCodec,
+    make_codec,
+)
+
+uint32_arrays = st.lists(
+    st.integers(0, 2 ** 32 - 1), min_size=0, max_size=120
+).map(lambda xs: np.asarray(xs, dtype=np.uint32))
+
+
+class TestCountedCodec:
+    def test_makes_bpc_self_delimiting(self):
+        codec = CountedCodec(BpcCodec())
+        x = (100 + np.arange(70, dtype=np.uint32) * 3)
+        enc = codec.encode(x)
+        assert np.array_equal(codec.decode_stream(enc, np.uint32), x)
+
+    def test_plain_bpc_is_not_self_delimiting(self):
+        with pytest.raises(NotImplementedError):
+            BpcCodec().decode_stream(b"\x00", np.uint32)
+
+    def test_decode_with_count(self):
+        codec = CountedCodec(RawCodec())
+        x = np.arange(10, dtype=np.uint32)
+        out = codec.decode(codec.encode(x), 10, np.uint32)
+        assert np.array_equal(out, x)
+
+    def test_decode_rejects_short_stream(self):
+        codec = CountedCodec(RawCodec())
+        enc = codec.encode(np.arange(3, dtype=np.uint32))
+        with pytest.raises(ValueError):
+            codec.decode(enc, 5, np.uint32)
+
+    def test_header_overhead_is_varint_sized(self):
+        codec = CountedCodec(RawCodec())
+        x = np.arange(10, dtype=np.uint32)
+        assert codec.encoded_size(x) == 40 + 1
+        big = np.arange(100, dtype=np.uint32)
+        assert codec.encoded_size(big) == 400 + 2
+
+    def test_registered_variant(self):
+        codec = make_codec("counted-bpc")
+        x = np.arange(40, dtype=np.uint32) * 7
+        assert np.array_equal(codec.decode_stream(codec.encode(x),
+                                                  np.uint32), x)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=uint32_arrays)
+    def test_property_roundtrip_over_bpc(self, data):
+        codec = CountedCodec(BpcCodec())
+        enc = codec.encode(data)
+        assert codec.encoded_size(data) == len(enc)
+        assert np.array_equal(codec.decode_stream(enc, np.uint32), data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=uint32_arrays)
+    def test_property_roundtrip_over_delta(self, data):
+        codec = CountedCodec(DeltaCodec())
+        enc = codec.encode(data)
+        assert np.array_equal(codec.decode(enc, data.size, np.uint32),
+                              data)

@@ -1,0 +1,198 @@
+"""Edge-case tests for individual DCL operators."""
+
+import numpy as np
+import pytest
+
+from repro.compression import DeltaCodec
+from repro.config import SpZipConfig
+from repro.dcl import (
+    Program,
+    pack_range,
+    pack_tuple,
+    unpack_range,
+    unpack_tuple,
+)
+from repro.engine import Fetcher, Compressor, drive
+from repro.memory import AddressSpace
+
+
+class TestPackHelpers:
+    def test_range_roundtrip(self):
+        packed = pack_range(123, 456)
+        assert unpack_range(packed) == (123, 456)
+
+    def test_range_bounds(self):
+        with pytest.raises(ValueError):
+            pack_range(-1, 4)
+        with pytest.raises(ValueError):
+            pack_range(0, 1 << 33)
+
+    def test_tuple_roundtrip(self):
+        packed = pack_tuple(9, 77, value_bits=32)
+        assert unpack_tuple(packed, 32) == (9, 77)
+
+    def test_tuple_value_width_checked(self):
+        with pytest.raises(ValueError):
+            pack_tuple(0, 1 << 40, value_bits=32)
+
+
+class TestRangeFetchEdgeCases:
+    def make(self, data, **range_kwargs):
+        space = AddressSpace()
+        space.alloc_array("arr", np.asarray(data, dtype=np.uint32),
+                          "other")
+        p = Program()
+        p.queue("in", elem_bytes=8)
+        p.queue("out", elem_bytes=4)
+        p.range_fetch("f", "in", ["out"], base="arr", elem_bytes=4,
+                      **range_kwargs)
+        f = Fetcher(SpZipConfig(), space)
+        f.load_program(p)
+        return f
+
+    def test_descending_range_rejected(self):
+        fetcher = self.make(range(10))
+        fetcher.enqueue("in", pack_range(5, 2))
+        with pytest.raises(ValueError):
+            for _ in range(10):
+                fetcher.tick()
+
+    def test_empty_range_emits_bare_marker(self):
+        fetcher = self.make(range(10), marker_value=7)
+        result = drive(fetcher, feeds={"in": [pack_range(3, 3)]},
+                       consume=["out"])
+        entries = result.outputs["out"]
+        assert len(entries) == 1
+        assert entries[0].marker
+        assert entries[0].value == 7
+
+    def test_input_marker_passthrough(self):
+        fetcher = self.make(range(10))
+        result = drive(fetcher,
+                       feeds={"in": [(5, True), pack_range(0, 2)]},
+                       consume=["out"])
+        entries = result.outputs["out"]
+        assert entries[0].marker and entries[0].value == 5
+        assert [e.value for e in entries if not e.marker] == [0, 1]
+
+    def test_boundary_mode_marker_resets_state(self):
+        fetcher = self.make(range(100), use_end_as_next_start=True)
+        # boundaries 2,5 -> range [2,5); marker; boundaries 10,11 ->
+        # range [10,11) (NOT [5,10)).
+        result = drive(fetcher,
+                       feeds={"in": [2, 5, (0, True), 10, 11]},
+                       consume=["out"])
+        chunks = result.chunks("out")
+        values = [v for chunk in chunks for v in chunk]
+        assert values == [2, 3, 4, 10]
+
+
+class TestCompressOpAutoChunk:
+    def test_auto_close_emits_length_marker(self):
+        space = AddressSpace()
+        p = Program()
+        p.queue("in", elem_bytes=4)
+        p.queue("out", elem_bytes=1)
+        p.compress("c", "in", ["out"], codec=DeltaCodec(),
+                   chunk_elems=4)
+        comp = Compressor(SpZipConfig(), space)
+        comp.load_program(p)
+        feed = [(v, False) for v in range(10)] + [(0, True)]
+        result = drive(comp, feeds={"in": feed}, consume=["out"])
+        entries = result.outputs["out"]
+        markers = [e for e in entries if e.marker]
+        # Two auto-closed chunks (len markers) + the passthrough marker.
+        assert len(markers) == 3
+        payload_1 = [e.value for e in entries[:entries.index(markers[0])]]
+        assert markers[0].value == len(payload_1)
+
+    def test_sorted_chunks_decode_sorted(self):
+        space = AddressSpace()
+        p = Program()
+        p.queue("in", elem_bytes=4)
+        p.queue("out", elem_bytes=1)
+        p.compress("c", "in", ["out"], codec=DeltaCodec(),
+                   chunk_elems=8, sort_chunks=True)
+        comp = Compressor(SpZipConfig(), space)
+        comp.load_program(p)
+        values = [9, 3, 7, 1]
+        feed = [(v, False) for v in values] + [(0, True)]
+        result = drive(comp, feeds={"in": feed}, consume=["out"])
+        payload = bytes(e.value for e in result.outputs["out"]
+                        if not e.marker)
+        decoded = DeltaCodec().decode_stream(payload, np.uint32)
+        assert decoded.tolist() == sorted(values)
+
+
+class TestMemQueueEdgeCases:
+    def make(self, num_queues=2, flush=4, value_bits=32):
+        space = AddressSpace()
+        space.alloc("staging", num_queues * 256, "updates")
+        p = Program()
+        p.queue("in", elem_bytes=8)
+        p.queue("out", elem_bytes=8)
+        p.mem_queue("mqu", "in", ["out"], num_queues=num_queues,
+                    base="staging", bytes_per_queue=256,
+                    value_bytes=value_bits // 8, flush_elems=flush)
+        comp = Compressor(SpZipConfig(), space)
+        comp.load_program(p)
+        return comp, value_bits
+
+    def test_invalid_queue_id_rejected(self):
+        comp, bits = self.make(num_queues=2)
+        comp.enqueue("in", pack_tuple(5, 1, value_bits=bits))
+        with pytest.raises(ValueError):
+            for _ in range(10):
+                comp.tick()
+
+    def test_flush_emits_values_then_id_marker(self):
+        comp, bits = self.make(num_queues=2, flush=3)
+        feed = [(pack_tuple(1, v, value_bits=bits), False)
+                for v in (10, 11, 12)]
+        result = drive(comp, feeds={"in": feed}, consume=["out"])
+        entries = result.outputs["out"]
+        assert [e.value for e in entries if not e.marker] == [10, 11, 12]
+        assert entries[-1].marker and entries[-1].value == 1
+
+    def test_close_marker_flushes_partial(self):
+        comp, bits = self.make(num_queues=2, flush=100)
+        feed = [(pack_tuple(0, 42, value_bits=bits), False),
+                (0, True)]  # marker value 0 closes queue 0
+        result = drive(comp, feeds={"in": feed}, consume=["out"])
+        values = [e.value for e in result.outputs["out"] if not e.marker]
+        assert values == [42]
+
+    def test_on_flush_callback_without_outputs(self):
+        flushed = []
+        space = AddressSpace()
+        space.alloc("staging", 512, "updates")
+        p = Program()
+        p.queue("in", elem_bytes=8)
+        p.mem_queue("mqu", "in", [], num_queues=1, base="staging",
+                    bytes_per_queue=512, value_bytes=4, flush_elems=2,
+                    on_flush=lambda qid, values: flushed.append(
+                        (qid, list(values))))
+        comp = Compressor(SpZipConfig(), space)
+        comp.load_program(p)
+        feed = [(pack_tuple(0, v, value_bits=32), False) for v in (5, 6)]
+        drive(comp, feeds={"in": feed}, consume=[])
+        assert flushed == [(0, [5, 6])]
+
+
+class TestStreamWriterEdgeCases:
+    def test_chunk_lengths_recorded_per_marker(self):
+        space = AddressSpace()
+        space.alloc("out_region", 1024, "updates")
+        p = Program()
+        p.queue("in", elem_bytes=1)
+        p.stream_write("w", "in", base="out_region",
+                       capacity_bytes=1024)
+        comp = Compressor(SpZipConfig(), space)
+        comp.load_program(p)
+        feed = ([(b, False) for b in b"abc"] + [(0, True)]
+                + [(b, False) for b in b"defgh"] + [(0, True)])
+        drive(comp, feeds={"in": feed}, consume=[])
+        writer = comp.operators[0]
+        assert writer.chunk_lengths == [3, 5]
+        assert space.load(space.region("out_region").base, 8) == \
+            b"abcdefgh"

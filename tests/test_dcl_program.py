@@ -1,0 +1,209 @@
+"""Tests for DCL program construction, validation, and parsing."""
+
+import pytest
+
+from repro.compression import DeltaCodec
+from repro.config import SpZipConfig
+from repro.dcl import (
+    DclSyntaxError,
+    Program,
+    ProgramError,
+    parse_dcl,
+)
+from repro.dcl.program import COMPRESSOR_KINDS, FETCHER_KINDS
+
+
+def simple_program():
+    p = Program()
+    p.queue("in", elem_bytes=8)
+    p.queue("out", elem_bytes=4)
+    p.range_fetch("fetch", "in", ["out"], base=0x1000)
+    return p
+
+
+class TestBuilder:
+    def test_duplicate_queue_rejected(self):
+        p = Program()
+        p.queue("q")
+        with pytest.raises(ProgramError):
+            p.queue("q")
+
+    def test_duplicate_operator_rejected(self):
+        p = simple_program()
+        with pytest.raises(ProgramError):
+            p.range_fetch("fetch", "in", ["out"], base=0)
+
+    def test_undeclared_queue_rejected(self):
+        p = Program()
+        p.queue("in")
+        with pytest.raises(ProgramError):
+            p.range_fetch("f", "in", ["nope"], base=0)
+
+    def test_input_output_queue_discovery(self):
+        p = Program()
+        p.queue("a", 8)
+        p.queue("b", 8)
+        p.queue("c", 4)
+        p.range_fetch("f1", "a", ["b"], base=0)
+        p.range_fetch("f2", "b", ["c"], base=0)
+        assert p.input_queues() == ["a"]
+        assert p.output_queues() == ["c"]
+
+
+class TestValidation:
+    def test_simple_program_validates(self):
+        simple_program().validate(SpZipConfig())
+
+    def test_queue_limit(self):
+        p = Program()
+        for i in range(17):
+            p.queue(f"q{i}")
+        with pytest.raises(ProgramError):
+            p.validate(SpZipConfig(max_queues=16))
+
+    def test_context_limit(self):
+        p = Program()
+        p.queue("in", 8)
+        for i in range(5):
+            p.queue(f"o{i}")
+            name = "in" if i == 0 else f"o{i-1}"
+            p.range_fetch(f"f{i}", name, [f"o{i}"], base=0)
+        with pytest.raises(ProgramError):
+            p.validate(SpZipConfig(max_contexts=4))
+
+    def test_double_consumer_rejected(self):
+        p = Program()
+        p.queue("in", 8)
+        p.queue("o1")
+        p.queue("o2")
+        p.range_fetch("f1", "in", ["o1"], base=0)
+        p.range_fetch("f2", "in", ["o2"], base=0)
+        with pytest.raises(ProgramError):
+            p.validate(SpZipConfig())
+
+    def test_double_producer_rejected(self):
+        p = Program()
+        p.queue("a", 8)
+        p.queue("b", 8)
+        p.queue("shared")
+        p.range_fetch("f1", "a", ["shared"], base=0)
+        p.range_fetch("f2", "b", ["shared"], base=0)
+        with pytest.raises(ProgramError):
+            p.validate(SpZipConfig())
+
+    def test_cycle_rejected(self):
+        p = Program()
+        p.queue("a")
+        p.queue("b")
+        p.range_fetch("f1", "a", ["b"], base=0)
+        p.range_fetch("f2", "b", ["a"], base=0)
+        with pytest.raises(ProgramError):
+            p.validate(SpZipConfig())
+
+    def test_engine_kind_restriction(self):
+        p = Program()
+        p.queue("in", 4)
+        p.queue("out", 1)
+        p.compress("c", "in", ["out"], codec=DeltaCodec())
+        p.validate(SpZipConfig(), COMPRESSOR_KINDS)
+        with pytest.raises(ProgramError):
+            p.validate(SpZipConfig(), FETCHER_KINDS)
+
+    def test_scratchpad_budget(self):
+        p = Program()
+        p.queue("a", 4, capacity_bytes=4096)
+        with pytest.raises(ProgramError):
+            p.validate(SpZipConfig(scratchpad_bytes=2048))
+
+
+class TestInstantiation:
+    def test_auto_capacity_shares_scratchpad(self):
+        p = simple_program()
+        queues, _ops = p.instantiate(SpZipConfig(scratchpad_bytes=2048),
+                                     resolve_addr=int)
+        assert queues["in"].capacity_bytes == 1024
+        assert queues["out"].capacity_bytes == 1024
+
+    def test_explicit_capacity_respected(self):
+        p = Program()
+        p.queue("big", 4, capacity_bytes=1536)
+        p.queue("small", 4)
+        p.range_fetch("f", "big", ["small"], base=0)
+        queues, _ = p.instantiate(SpZipConfig(scratchpad_bytes=2048),
+                                  resolve_addr=int)
+        assert queues["big"].capacity_bytes == 1536
+        assert queues["small"].capacity_bytes == 512
+
+    def test_region_name_resolution(self):
+        p = simple_program()
+        p.operators[0].params["base"] = "myregion"
+        resolved = {}
+
+        def resolve(base):
+            resolved["base"] = base
+            return 0x7000
+
+        _queues, ops = p.instantiate(SpZipConfig(), resolve)
+        assert resolved["base"] == "myregion"
+        assert ops[0].base_addr == 0x7000
+
+
+class TestParser:
+    def test_parse_fig3_pipeline(self):
+        text = """
+        # Fig 3: compressed CSR traversal
+        queue input elem=8
+        queue offsetsQ elem=8
+        queue crows elem=1
+        queue rows elem=4
+        range fetch_offsets input -> offsetsQ base=offsets elem=8 nomarkers
+        range fetch_crows offsetsQ -> crows base=payload elem=1 boundaries
+        decompress dec crows -> rows codec=delta
+        """
+        p = parse_dcl(text)
+        p.validate(SpZipConfig(), FETCHER_KINDS)
+        assert p.input_queues() == ["input"]
+        assert p.output_queues() == ["rows"]
+        assert p.operators[1].params["use_end_as_next_start"] is True
+        assert p.operators[0].params["emit_range_markers"] is False
+
+    def test_parse_compressor_pipeline(self):
+        text = """
+        queue bin_input elem=8
+        queue chunksQ elem=8
+        queue compressedQ elem=1
+        memqueue stage bin_input -> chunksQ queues=64 base=staging qbytes=512
+        compress comp chunksQ -> compressedQ codec=delta elem=8 sort
+        binappend append compressedQ queues=64 base=bins qbytes=65536
+        """
+        p = parse_dcl(text)
+        p.validate(SpZipConfig(), COMPRESSOR_KINDS)
+        assert p.operators[1].params["sort_chunks"] is True
+
+    def test_prefetch_only_dash(self):
+        text = """
+        queue idx elem=4
+        indirect pf idx -> - base=0x4000 elem=8
+        """
+        p = parse_dcl(text)
+        assert p.operators[0].out_queues == []
+        assert p.operators[0].params["base"] == 0x4000
+
+    @pytest.mark.parametrize("bad,msg", [
+        ("quux foo", "unknown statement"),
+        ("queue", "exactly one name"),
+        ("range f in -> out", "base"),
+        ("range f in => out base=0", "malformed option"),
+        ("decompress d in -> out codec=zstd", "unknown codec"),
+        ("queue q elem=abc", "integer"),
+        ("range f in -> out base=0 wat", "unknown flag"),
+    ])
+    def test_syntax_errors(self, bad, msg):
+        prelude = "queue in elem=8\nqueue out elem=4\n"
+        with pytest.raises(DclSyntaxError) as err:
+            parse_dcl(prelude + bad)
+        assert msg in str(err.value)
+
+    def test_comments_and_blanks_ignored(self):
+        p = parse_dcl("\n# nothing\n   \nqueue q elem=4 # trailing\n")
+        assert "q" in p.queues

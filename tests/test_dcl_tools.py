@@ -1,0 +1,63 @@
+"""Tests for DCL tooling: dot rendering and engine statistics."""
+
+import numpy as np
+
+from repro.config import SpZipConfig
+from repro.dcl import pack_range, program_to_dot
+from repro.engine import (
+    INPUT_QUEUE,
+    ROWS_QUEUE,
+    Fetcher,
+    csr_traversal,
+    drive,
+    engine_stats,
+    pagerank_push,
+)
+from repro.graph import CsrGraph
+from repro.memory import AddressSpace
+
+
+class TestProgramToDot:
+    def test_contains_operators_and_queues(self):
+        dot = program_to_dot(pagerank_push())
+        assert dot.startswith("digraph")
+        assert '"fetch_offsets"' in dot
+        assert '"prefetch_scores"' in dot
+        assert "neighbors (4B)" in dot
+
+    def test_core_terminals_for_io_queues(self):
+        dot = program_to_dot(csr_traversal())
+        assert "core_in ->" in dot        # input queue from the core
+        assert '-> core_out' in dot       # rows queue to the core
+
+    def test_custom_name(self):
+        assert program_to_dot(csr_traversal(),
+                              name="fig2").startswith("digraph fig2")
+
+
+class TestEngineStats:
+    def run_engine(self):
+        g = CsrGraph(np.array([0, 2, 4, 5, 7]),
+                     np.array([1, 2, 0, 2, 3, 1, 2], dtype=np.uint32))
+        space = AddressSpace()
+        space.alloc_array("offsets", g.offsets, "adjacency")
+        space.alloc_array("rows", g.neighbors, "adjacency")
+        fetcher = Fetcher(SpZipConfig(), space)
+        fetcher.load_program(csr_traversal(row_elem_bytes=4))
+        drive(fetcher, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+              consume=[ROWS_QUEUE])
+        return fetcher
+
+    def test_stats_structure(self):
+        stats = engine_stats(self.run_engine())
+        assert stats["cycles"] > 0
+        assert stats["mem_reads"] > 0
+        assert stats["mem_bytes_read"] >= 7 * 4
+        assert 0 < stats["activity_factor"] <= 1
+        assert stats["queues"]["rows"]["pushed"] == 11  # 7 elems + 4 mks
+        assert set(stats["operator_fires"]) == {"fetch_offsets",
+                                                "fetch_rows"}
+
+    def test_high_water_tracked(self):
+        stats = engine_stats(self.run_engine())
+        assert stats["queues"]["rows"]["high_water_bytes"] > 0

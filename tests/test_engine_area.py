@@ -1,0 +1,50 @@
+"""Tests for the area model (paper Table I)."""
+
+import pytest
+
+from repro.config import SpZipConfig
+from repro.engine import (
+    compressor_area,
+    fetcher_area,
+    scratchpad_area,
+    spzip_core_overhead,
+)
+
+
+class TestTable1:
+    def test_fetcher_breakdown_matches_paper(self):
+        area = fetcher_area()
+        components = dict(area.rows())
+        assert components["AccU"] == pytest.approx(10.1e3, rel=0.01)
+        assert components["DecompU"] == pytest.approx(22.5e3, rel=0.01)
+        assert components["Scratchpad"] == pytest.approx(6.8e3, rel=0.01)
+        assert components["Scheduler"] == pytest.approx(7.9e3, rel=0.01)
+        assert area.total == pytest.approx(47.3e3, rel=0.01)
+
+    def test_compressor_breakdown_matches_paper(self):
+        area = compressor_area()
+        components = dict(area.rows())
+        assert components["MQU & SWU"] == pytest.approx(5.8e3, rel=0.01)
+        assert components["CompU"] == pytest.approx(25.0e3, rel=0.01)
+        assert area.total == pytest.approx(45.5e3, rel=0.01)
+
+    def test_core_overhead_is_two_permille(self):
+        assert spzip_core_overhead() == pytest.approx(0.002, rel=0.05)
+
+
+class TestScaling:
+    def test_scratchpad_area_grows_sublinearly(self):
+        double = scratchpad_area(4096) / scratchpad_area(2048)
+        assert 1.0 < double < 2.0
+
+    def test_scratchpad_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scratchpad_area(0)
+
+    def test_more_outstanding_requests_cost_area(self):
+        big = fetcher_area(SpZipConfig(au_outstanding_lines=16))
+        assert big.total > fetcher_area().total
+
+    def test_fewer_contexts_save_area(self):
+        small = compressor_area(SpZipConfig(max_contexts=8))
+        assert small.total < compressor_area().total

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs and verifies itself.
+
+Examples assert their own correctness (engine output vs reference), so
+running their ``main()`` is a real integration check, not just an import
+test.
+"""
+
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+
+def load_example(name):
+    import importlib.util
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "success" in out
+
+    def test_dcl_text_programs(self, capsys):
+        module = load_example("dcl_text_programs")
+        module.run_traversal()
+        module.run_compressor()
+        out = capsys.readouterr().out
+        assert "rows verified" in out
+        assert "matches the input multiset" in out
+
+    def test_ub_pagerank_engines(self, capsys):
+        load_example("ub_pagerank_engines").main()
+        out = capsys.readouterr().out
+        assert "matches the reference" in out
+
+    def test_bfs_engines(self, capsys):
+        load_example("bfs_engines").main()
+        out = capsys.readouterr().out
+        assert "match the reference: True" in out
+
+    @pytest.mark.slow
+    def test_extensions_example(self, capsys):
+        module = load_example("extensions_hats_webgraph")
+        module.webgraph_study()
+        module.hats_study()
+        out = capsys.readouterr().out
+        assert "webgraph" in out
+        assert "bdfs" in out

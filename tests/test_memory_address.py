@@ -1,0 +1,103 @@
+"""Unit tests for the flat virtual address space."""
+
+import numpy as np
+import pytest
+
+from repro.memory import AddressSpace, LINE_BYTES
+
+
+class TestAllocation:
+    def test_regions_are_line_aligned(self):
+        space = AddressSpace()
+        a = space.alloc("a", 100, "adjacency")
+        b = space.alloc("b", 100, "updates")
+        assert a.base % LINE_BYTES == 0
+        assert b.base % LINE_BYTES == 0
+        assert b.base >= a.end
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("x", 8)
+        with pytest.raises(ValueError):
+            space.alloc("x", 8)
+
+    def test_bad_class_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().alloc("x", 8, "bogus")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().alloc("x", -1)
+
+    def test_zero_size_allocates_minimum(self):
+        region = AddressSpace().alloc("empty", 0)
+        assert region.nbytes == 1
+
+
+class TestLookup:
+    def test_region_of_interior_address(self):
+        space = AddressSpace()
+        region = space.alloc("r", 256, "updates")
+        assert space.region_of(region.base + 100) is region
+
+    def test_region_of_gap_is_none(self):
+        space = AddressSpace()
+        region = space.alloc("r", 10)
+        assert space.region_of(region.end + LINE_BYTES) is None
+
+    def test_region_of_below_all_is_none(self):
+        space = AddressSpace()
+        space.alloc("r", 10)
+        assert space.region_of(0) is None
+
+    def test_data_class_of(self):
+        space = AddressSpace()
+        region = space.alloc("adj", 64, "adjacency")
+        assert space.data_class_of(region.base) == "adjacency"
+        assert space.data_class_of(5) == "other"
+
+    def test_region_by_name(self):
+        space = AddressSpace()
+        region = space.alloc("named", 8)
+        assert space.region("named") is region
+
+
+class TestFunctionalAccess:
+    def test_store_load_roundtrip(self):
+        space = AddressSpace()
+        region = space.alloc("buf", 64)
+        space.store(region.base + 4, b"hello")
+        assert space.load(region.base + 4, 5) == b"hello"
+
+    def test_elems_roundtrip(self):
+        space = AddressSpace()
+        values = np.arange(16, dtype=np.uint32)
+        region = space.alloc_array("arr", values, "source_vertex")
+        out = space.load_elems(region.base, 16, np.uint32)
+        assert np.array_equal(out, values)
+
+    def test_alloc_array_copies(self):
+        space = AddressSpace()
+        values = np.arange(4, dtype=np.uint32)
+        region = space.alloc_array("arr", values)
+        values[0] = 99
+        assert space.load_elems(region.base, 1, np.uint32)[0] == 0
+
+    def test_unmapped_access_raises(self):
+        space = AddressSpace()
+        with pytest.raises(MemoryError):
+            space.load(0x10, 4)
+
+    def test_overrun_raises(self):
+        space = AddressSpace()
+        region = space.alloc("small", 8)
+        with pytest.raises(MemoryError):
+            space.load(region.base + 4, 8)
+
+    def test_store_elems(self):
+        space = AddressSpace()
+        region = space.alloc("arr", 32)
+        space.store_elems(region.base, np.array([1.5, 2.5],
+                                                dtype=np.float64))
+        out = space.load_elems(region.base, 2, np.float64)
+        assert out.tolist() == [1.5, 2.5]

@@ -1,0 +1,161 @@
+"""Tests for address translation (TLB, page table, translating port)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SpZipConfig
+from repro.dcl import pack_range
+from repro.engine import Fetcher, INPUT_QUEUE, ROWS_QUEUE, csr_traversal, \
+    drive
+from repro.graph import CsrGraph
+from repro.memory import AddressSpace, PageFault, PageTable, Tlb, \
+    TranslatingPort
+from repro.memory.tlb import PAGE_BYTES
+
+
+class TestTlb:
+    def test_first_touch_misses_then_hits(self):
+        tlb = Tlb(entries=16, ways=4)
+        assert tlb.lookup(5) is False
+        assert tlb.lookup(5) is True
+        assert tlb.miss_rate == 0.5
+
+    def test_lru_within_set(self):
+        tlb = Tlb(entries=4, ways=4)  # one set
+        for vpage in range(4):
+            tlb.lookup(vpage * tlb.num_sets)
+        tlb.lookup(0)                      # refresh 0
+        tlb.lookup(4 * tlb.num_sets)       # evict LRU (page 1*sets)
+        assert tlb.lookup(0) is True
+        assert tlb.lookup(1 * tlb.num_sets) is False
+
+    def test_flush(self):
+        tlb = Tlb(entries=8, ways=2)
+        tlb.lookup(3)
+        tlb.flush()
+        assert tlb.lookup(3) is False
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=10, ways=4)
+
+
+class TestPageTable:
+    def test_map_and_translate(self):
+        table = PageTable()
+        table.map_range(0x10000, 100)
+        assert table.is_present(0x10000 // PAGE_BYTES)
+        assert table.translate(0x10000 // PAGE_BYTES) == \
+            0x10000 // PAGE_BYTES
+
+    def test_fault_on_absent(self):
+        table = PageTable()
+        with pytest.raises(PageFault):
+            table.translate(42)
+        assert table.faults == 1
+
+    def test_populate_on_fault_maps_for_retry(self):
+        table = PageTable(populate_on_fault=True)
+        with pytest.raises(PageFault):
+            table.translate(7)
+        assert table.translate(7) == 7  # OS handled it; retry succeeds
+
+    def test_unmap(self):
+        table = PageTable()
+        table.map_range(0, PAGE_BYTES)
+        table.unmap_page(0)
+        assert not table.is_present(0)
+
+
+class TestTranslatingPort:
+    def base_port(self):
+        calls = []
+
+        def port(addr, nbytes, write):
+            calls.append((addr, nbytes, write))
+            return 10
+
+        return port, calls
+
+    def test_walk_latency_added_on_miss(self):
+        port, _calls = self.base_port()
+        table = PageTable()
+        table.map_range(0, 1 << 20)
+        translating = TranslatingPort(port, Tlb(walk_latency=35),
+                                      table)
+        first = translating(0, 8, False)
+        second = translating(0, 8, False)
+        assert first == 45  # walk + access
+        assert second == 10  # TLB hit
+
+    def test_fault_raises_without_handler(self):
+        port, _ = self.base_port()
+        translating = TranslatingPort(port, page_table=PageTable())
+        with pytest.raises(PageFault):
+            translating(0x5000, 8, False)
+
+    def test_fault_handler_maps_page(self):
+        port, calls = self.base_port()
+        handled = []
+
+        def on_fault(vpage):
+            handled.append(vpage)
+            return True
+
+        translating = TranslatingPort(port, page_table=PageTable(),
+                                      on_fault=on_fault)
+        translating(0x5000, 8, False)
+        assert handled == [0x5000 // PAGE_BYTES]
+        assert len(calls) == 1
+
+    def test_multi_page_access_translates_each_page(self):
+        port, _ = self.base_port()
+        table = PageTable()
+        table.map_range(0, 3 * PAGE_BYTES)
+        translating = TranslatingPort(port, Tlb(walk_latency=20), table)
+        latency = translating(PAGE_BYTES - 4, 8, False)  # spans 2 pages
+        assert latency == 2 * 20 + 10
+
+
+class TestEngineWithTranslation:
+    def test_fetcher_traverses_through_tlb(self):
+        """A fetcher using a translating port still works, paying
+        page-walk latency once per page (Sec III-D)."""
+        graph = CsrGraph(np.array([0, 2, 4, 5, 7]),
+                         np.array([1, 2, 0, 2, 3, 1, 2],
+                                  dtype=np.uint32))
+        space = AddressSpace()
+        space.alloc_array("offsets", graph.offsets, "adjacency")
+        space.alloc_array("rows", graph.neighbors, "adjacency")
+        table = PageTable()
+        for name in ("offsets", "rows"):
+            region = space.region(name)
+            table.map_range(region.base, region.nbytes)
+        tlb = Tlb()
+        port = TranslatingPort(lambda a, n, w: 15, tlb, table)
+        fetcher = Fetcher(SpZipConfig(), space, mem_port=port)
+        fetcher.load_program(csr_traversal(row_elem_bytes=4))
+        result = drive(fetcher, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+                       consume=[ROWS_QUEUE])
+        assert result.chunks(ROWS_QUEUE) == [[1, 2], [0, 2], [3], [1, 2]]
+        assert tlb.misses >= 1
+        assert tlb.hits > tlb.misses  # translations are reused
+
+    def test_fetcher_fault_interrupts_traversal(self):
+        """Touching an unmapped page stops the engine with a fault the
+        'OS' can observe — the paper's interrupt-and-quiesce protocol."""
+        graph = CsrGraph(np.array([0, 2, 4, 5, 7]),
+                         np.array([1, 2, 0, 2, 3, 1, 2],
+                                  dtype=np.uint32))
+        space = AddressSpace()
+        space.alloc_array("offsets", graph.offsets, "adjacency")
+        space.alloc_array("rows", graph.neighbors, "adjacency")
+        table = PageTable()  # nothing mapped
+        port = TranslatingPort(lambda a, n, w: 15, Tlb(), table)
+        fetcher = Fetcher(SpZipConfig(), space, mem_port=port)
+        fetcher.load_program(csr_traversal(row_elem_bytes=4))
+        fetcher.enqueue(INPUT_QUEUE, pack_range(0, 5))
+        with pytest.raises(PageFault):
+            for _ in range(100):
+                fetcher.tick()
+        assert table.faults >= 1

@@ -1,0 +1,172 @@
+"""Tests for the additional sparse formats (DCSR, COO, ELL, DIA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CsrGraph, banded_matrix, community_graph
+from repro.sparse.formats import (
+    CooMatrix,
+    DcsrMatrix,
+    DiaMatrix,
+    EllMatrix,
+    best_format_for,
+)
+
+
+def sample_csr(values=False):
+    g = community_graph(80, 400, seed_stream="fmt")
+    if values:
+        rng = np.random.default_rng(0)
+        return CsrGraph(g.offsets, g.neighbors,
+                        values=rng.standard_normal(g.num_edges))
+    return g
+
+
+def hypersparse_csr():
+    """Most rows empty (DCSR's home turf)."""
+    return CsrGraph.from_edges(1000, [3, 3, 500, 777],
+                               [10, 20, 501, 3])
+
+
+small_graphs = st.integers(2, 20).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                 max_size=60),
+    )
+)
+
+
+class TestCoo:
+    def test_roundtrip(self):
+        csr = sample_csr()
+        back = CooMatrix.from_csr(csr).to_csr()
+        assert np.array_equal(back.offsets, csr.offsets)
+        assert np.array_equal(back.neighbors, csr.neighbors)
+
+    def test_roundtrip_with_values(self):
+        csr = sample_csr(values=True)
+        back = CooMatrix.from_csr(csr).to_csr()
+        assert np.allclose(back.values, csr.values)
+
+    def test_rows_are_row_major(self):
+        coo = CooMatrix.from_csr(sample_csr())
+        assert (np.diff(coo.rows.astype(np.int64)) >= 0).all()
+
+    def test_footprint(self):
+        coo = CooMatrix.from_csr(sample_csr())
+        assert coo.footprint_bytes() == coo.nnz * 8
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs)
+    def test_roundtrip_property(self, case):
+        n, edges = case
+        csr = CsrGraph.from_edges(n, [e[0] for e in edges],
+                                  [e[1] for e in edges])
+        back = CooMatrix.from_csr(csr).to_csr()
+        assert np.array_equal(back.offsets, csr.offsets)
+        assert np.array_equal(back.neighbors, csr.neighbors)
+
+
+class TestDcsr:
+    def test_roundtrip(self):
+        csr = sample_csr()
+        back = DcsrMatrix.from_csr(csr).to_csr()
+        assert np.array_equal(back.offsets, csr.offsets)
+        assert np.array_equal(back.neighbors, csr.neighbors)
+
+    def test_hypersparse_roundtrip(self):
+        csr = hypersparse_csr()
+        dcsr = DcsrMatrix.from_csr(csr)
+        assert dcsr.num_stored_rows == 3  # rows 3, 500, 777
+        back = dcsr.to_csr()
+        assert np.array_equal(back.offsets, csr.offsets)
+        assert np.array_equal(back.neighbors, csr.neighbors)
+
+    def test_hypersparse_smaller_than_csr(self):
+        csr = hypersparse_csr()
+        dcsr = DcsrMatrix.from_csr(csr)
+        assert dcsr.footprint_bytes() < csr.adjacency_bytes()
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs)
+    def test_roundtrip_property(self, case):
+        n, edges = case
+        csr = CsrGraph.from_edges(n, [e[0] for e in edges],
+                                  [e[1] for e in edges])
+        back = DcsrMatrix.from_csr(csr).to_csr()
+        assert np.array_equal(back.offsets, csr.offsets)
+        assert np.array_equal(back.neighbors, csr.neighbors)
+
+
+class TestEll:
+    def test_roundtrip(self):
+        csr = sample_csr()
+        back = EllMatrix.from_csr(csr).to_csr()
+        assert np.array_equal(back.offsets, csr.offsets)
+        assert np.array_equal(back.neighbors, csr.neighbors)
+
+    def test_roundtrip_with_values(self):
+        csr = sample_csr(values=True)
+        back = EllMatrix.from_csr(csr).to_csr()
+        assert np.allclose(back.values, csr.values)
+
+    def test_width_is_max_degree(self):
+        csr = sample_csr()
+        ell = EllMatrix.from_csr(csr)
+        assert ell.width == int(csr.out_degrees().max())
+
+    def test_padding_fraction(self):
+        csr = CsrGraph.from_edges(3, [0, 0, 0, 1], [1, 2, 0, 2],
+                                  drop_self_loops=False)
+        ell = EllMatrix.from_csr(csr)
+        # widths: 3, 1, 0 -> 9 slots, 4 real.
+        assert ell.padding_fraction == pytest.approx(5 / 9)
+
+    def test_skewed_graph_pads_heavily(self):
+        csr = hypersparse_csr()
+        assert EllMatrix.from_csr(csr).padding_fraction > 0.9
+
+
+class TestDia:
+    def test_banded_roundtrip(self):
+        m = banded_matrix(60, 300, bandwidth_fraction=0.05,
+                          seed_stream="fmt-dia")
+        back = DiaMatrix.from_csr(m).to_csr()
+        assert np.array_equal(back.offsets, m.offsets)
+        assert np.array_equal(back.neighbors, m.neighbors)
+
+    def test_with_values_roundtrip(self):
+        skeleton = CsrGraph(np.array([0, 2, 3, 4]),
+                            np.array([0, 1, 1, 2], dtype=np.uint32))
+        csr = CsrGraph(skeleton.offsets, skeleton.neighbors,
+                       values=np.array([1.0, 2.0, 3.0, 4.0]))
+        back = DiaMatrix.from_csr(csr).to_csr()
+        assert np.array_equal(back.neighbors, csr.neighbors)
+        assert np.allclose(back.values, csr.values)
+
+    def test_diagonal_count(self):
+        # Pure tridiagonal structure.
+        csr = CsrGraph.from_edges(
+            5,
+            [0, 1, 1, 2, 2, 3, 3, 4],
+            [1, 0, 2, 1, 3, 2, 4, 3],
+        )
+        assert DiaMatrix.from_csr(csr).num_diagonals == 2
+
+
+class TestBestFormat:
+    def test_banded_prefers_dia_or_csr(self):
+        m = banded_matrix(100, 300, bandwidth_fraction=0.02,
+                          seed_stream="fmt-best")
+        assert best_format_for(m, value_bytes=8) in ("dia", "csr", "ell")
+
+    def test_hypersparse_prefers_dcsr_or_coo(self):
+        assert best_format_for(hypersparse_csr()) in ("dcsr", "coo")
+
+    def test_regular_degrees_allow_ell(self):
+        csr = CsrGraph.from_edges(
+            4, [0, 0, 1, 1, 2, 2, 3, 3], [1, 2, 0, 3, 0, 3, 1, 2])
+        assert best_format_for(csr) in ("ell", "csr", "coo", "dcsr")

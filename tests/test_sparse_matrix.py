@@ -1,0 +1,61 @@
+"""Tests for the SpMV substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CsrGraph
+from repro.sparse import SparseMatrix, make_spmv_input, spmv
+
+
+def small_matrix():
+    # [[0 2 0], [1 0 3], [0 0 4]]
+    skeleton = CsrGraph(np.array([0, 1, 3, 4]),
+                        np.array([1, 0, 2, 2], dtype=np.uint32))
+    return SparseMatrix(skeleton, np.array([2.0, 1.0, 3.0, 4.0]))
+
+
+class TestSparseMatrix:
+    def test_multiply_reference(self):
+        m = small_matrix()
+        y = m.multiply(np.array([1.0, 2.0, 3.0]))
+        assert y.tolist() == [4.0, 10.0, 12.0]
+
+    def test_spmv_alias(self):
+        m = small_matrix()
+        x = np.array([1.0, 0.0, 1.0])
+        assert np.array_equal(spmv(m, x), m.multiply(x))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            small_matrix().multiply(np.ones(5))
+
+    def test_value_count_checked(self):
+        skeleton = CsrGraph(np.array([0, 1]), np.array([0],
+                                                       dtype=np.uint32))
+        with pytest.raises(ValueError):
+            SparseMatrix(skeleton, np.array([1.0, 2.0]))
+
+    def test_shape_and_nnz(self):
+        m = small_matrix()
+        assert m.shape == (3, 3)
+        assert m.nnz == 4
+
+
+class TestSpmvInput:
+    def test_nlp_standin_loads(self):
+        matrix, x = make_spmv_input(scale=65536)
+        assert matrix.shape[0] == x.size
+        assert matrix.nnz > 0
+
+    def test_matrix_is_banded(self):
+        matrix, _x = make_spmv_input(scale=65536)
+        rows = np.repeat(np.arange(matrix.shape[0]),
+                         np.diff(matrix.offsets))
+        distance = np.abs(rows - matrix.columns.astype(np.int64))
+        assert np.percentile(distance, 99) < matrix.shape[0] * 0.1
+
+    def test_deterministic(self):
+        a, xa = make_spmv_input(scale=65536)
+        b, xb = make_spmv_input(scale=65536)
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(xa, xb)
