@@ -1,9 +1,20 @@
 """Shared fixtures for the benchmark harness.
 
-All benchmarks share one session-scoped :class:`~repro.sim.Runner`, so
-profiling work (cache replays, compression measurement) is done once per
-(app, input, preprocessing) and reused by every figure that needs it —
-exactly how the paper's figures share one set of simulations.
+All benchmarks share one session-scoped
+:class:`~repro.jobs.JobRunner`, so profiling work (cache replays,
+compression measurement) is done once per (app, input, preprocessing)
+and reused by every figure that needs it — exactly how the paper's
+figures share one set of simulations.
+
+Two environment knobs engage the orchestration layer
+(see docs/ORCHESTRATION.md):
+
+``REPRO_JOBS``
+    worker processes for the shared runner (default 1, in-process);
+``REPRO_CACHE_DIR``
+    content-addressed result cache root; when set, warm benchmark
+    reruns skip profiling entirely (the code-salted cache key
+    invalidates stale entries automatically after model changes).
 """
 
 import os
@@ -11,14 +22,16 @@ import os
 import pytest
 
 from repro.harness import ExperimentResult, render_table, save_table
-from repro.sim import Runner
+from repro.jobs import JobRunner
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 @pytest.fixture(scope="session")
 def runner():
-    return Runner()
+    return JobRunner(
+        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
 
 
 @pytest.fixture(scope="session")

@@ -13,7 +13,6 @@ Not paper figures — these pin the model's own load-bearing decisions:
 """
 
 import numpy as np
-import pytest
 from conftest import run_once
 
 from repro.graph import load_preprocessed

@@ -14,7 +14,6 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.graph.csr import CsrGraph
 from repro.runtime.workload import Iteration, Workload
 from repro.sparse.matrix import SparseMatrix
 

@@ -18,6 +18,14 @@ Commands:
 ``traverse [--dataset D] [--rows N]``
     Run the functional fetcher over a compressed graph and report cycles
     and verification.
+
+``report [--jobs N] [--cache-dir DIR] [--no-cache] [--telemetry F]``
+    Run experiments through the job orchestrator (parallel workers,
+    content-addressed result cache) and emit the markdown report.
+
+``jobs [--telemetry F] [--cache-dir DIR]``
+    Summarize the latest orchestrated run's JSONL telemetry (per-job
+    timing, cache hits, retries) and the result cache's state.
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+from repro.jobs.cache import DEFAULT_CACHE_DIR
 
 
 def _cmd_list(_args) -> int:
@@ -113,8 +123,13 @@ def _cmd_compress(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.harness import generate_report
-    from repro.sim import Runner
-    runner = Runner(scale=args.scale)
+    from repro.jobs import JobRunner
+    runner = JobRunner(
+        scale=args.scale, jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        telemetry_path=args.telemetry,
+        timeout=args.timeout, retries=args.retries,
+        progress=print if not args.out else None)
     ids = args.experiments or None
     report = generate_report(runner, experiment_ids=ids, progress=True)
     if args.out:
@@ -123,7 +138,33 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.out}")
     else:
         print(report)
+    if runner.telemetry_path:
+        print(f"telemetry: {runner.telemetry_path}", file=sys.stderr)
     return 0
+
+
+def _cmd_jobs(args) -> int:
+    """Inspect orchestration state: telemetry summaries, cache."""
+    from repro.jobs import (
+        ResultCache,
+        latest_telemetry,
+        render_summary,
+        summarize,
+    )
+    status = 0
+    path = args.telemetry or latest_telemetry(args.cache_dir)
+    if path:
+        print(render_summary(summarize(path)))
+    else:
+        print(f"no telemetry found under {args.cache_dir!r}; run "
+              f"`python -m repro report --cache-dir {args.cache_dir}` "
+              f"first", file=sys.stderr)
+        status = 1
+    cache = ResultCache(args.cache_dir)
+    stats = cache.stats()
+    print(f"cache:     {stats['entries']} entries, "
+          f"{stats['bytes'] / 1024:.1f} KiB under {cache.root}")
+    return status
 
 
 def _cmd_traverse(args) -> int:
@@ -162,6 +203,14 @@ def _cmd_traverse(args) -> int:
     return 0 if ok else 1
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -192,6 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default=None)
     report.add_argument("--scale", type=int, default=4096)
     report.add_argument("--experiments", nargs="*", default=None)
+    report.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes (1 = in-process)")
+    report.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="content-addressed result cache root")
+    report.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    report.add_argument("--telemetry", default=None,
+                        help="JSONL telemetry path (default: under the "
+                             "cache dir)")
+    report.add_argument("--timeout", type=float, default=None,
+                        help="per-job-group timeout in seconds")
+    report.add_argument("--retries", type=int, default=1,
+                        help="retries per failed/timed-out job group")
+
+    jobs = sub.add_parser("jobs",
+                          help="summarize orchestration telemetry and "
+                               "cache state")
+    jobs.add_argument("--telemetry", default=None,
+                      help="telemetry JSONL to summarize (default: "
+                           "latest under the cache dir)")
+    jobs.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
 
     traverse = sub.add_parser("traverse",
                               help="run the functional fetcher")
@@ -211,6 +281,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compress": _cmd_compress,
         "traverse": _cmd_traverse,
         "report": _cmd_report,
+        "jobs": _cmd_jobs,
     }
     return handlers[args.command](args)
 

@@ -36,7 +36,7 @@ Example — the compressed-CSR traversal of Fig 3::
 from __future__ import annotations
 
 import shlex
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.compression import make_codec
 from repro.dcl.program import Program, ProgramError

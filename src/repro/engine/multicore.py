@@ -20,8 +20,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.dcl import pack_range
 from repro.dcl.program import Program
 from repro.engine.base import EngineStall

@@ -30,6 +30,7 @@ class CsrGraph:
         self.offsets = np.asarray(offsets, dtype=OFFSET_DTYPE)
         self.neighbors = np.asarray(neighbors, dtype=VERTEX_DTYPE)
         self.values = None if values is None else np.asarray(values)
+        self._digest: Optional[str] = None
         if check:
             self._validate()
 
@@ -60,6 +61,25 @@ class CsrGraph:
     @property
     def avg_degree(self) -> float:
         return self.num_edges / max(1, self.num_vertices)
+
+    def content_digest(self) -> str:
+        """Memoized digest of the full graph content.
+
+        Identifies a graph instance by value (structure + edge values),
+        so memo tables keyed on it cannot collide across distinct
+        graphs that merely share a vertex count.
+        """
+        if self._digest is None:
+            import hashlib
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.ascontiguousarray(self.offsets).tobytes())
+            digest.update(np.ascontiguousarray(self.neighbors)
+                          .tobytes())
+            if self.values is not None:
+                digest.update(np.ascontiguousarray(self.values)
+                              .tobytes())
+            self._digest = digest.hexdigest()
+        return self._digest
 
     def out_degrees(self) -> np.ndarray:
         return np.diff(self.offsets)

@@ -29,7 +29,7 @@ into the same experiments.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ the paper-vs-measured comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.datasets import GRAPH_INPUTS

@@ -37,13 +37,28 @@ def _markdown_table(result: ExperimentResult) -> str:
 def generate_report(runner: Optional[Runner] = None,
                     experiment_ids: Optional[Iterable[str]] = None,
                     progress: bool = False) -> str:
-    """Run experiments and return the combined markdown report."""
+    """Run experiments and return the combined markdown report.
+
+    When ``runner`` is a :class:`~repro.jobs.JobRunner`, the whole
+    cross-product of simulations the selected experiments need is
+    prefetched through the job layer first (parallel workers, disk
+    cache), and the experiment functions then assemble their tables
+    from the prefetched results.
+    """
     runner = runner if runner is not None else Runner()
     ids = list(experiment_ids) if experiment_ids is not None \
         else sorted(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
+    if hasattr(runner, "prefetch"):
+        from repro.jobs.plan import experiment_requests
+        requests = experiment_requests(ids)
+        if requests:
+            if progress:
+                print(f"  prefetching {len(requests)} simulations "
+                      f"(jobs={getattr(runner, 'jobs', 1)})")
+            runner.prefetch(requests)
     sections = [
         "# SpZip reproduction — generated evaluation report",
         "",

@@ -1,0 +1,64 @@
+"""Parallel experiment orchestration: job graphs, process-pool
+execution, content-addressed result caching, and run telemetry.
+
+Layering (each module only imports downward):
+
+``model``        job specs, the dependency graph, request canonical form
+``fingerprint``  content-addressed cache keys (code-salted)
+``cache``        the on-disk pickle store
+``telemetry``    JSONL run records and their summaries
+``executor``     serial / process-pool graph execution
+``plan``         experiment id -> required simulations
+``orchestrator`` the ``Runner``-compatible front end (``JobRunner``)
+"""
+
+from repro.jobs.cache import DEFAULT_CACHE_DIR, NullCache, ResultCache
+from repro.jobs.executor import (
+    JobExecutionError,
+    JobExecutor,
+    execute_group,
+)
+from repro.jobs.fingerprint import code_salt, job_fingerprint
+from repro.jobs.model import (
+    JobGraph,
+    JobSpec,
+    RunRequest,
+    build_job_graph,
+    canonical_params,
+)
+from repro.jobs.orchestrator import JobRunner
+from repro.jobs.plan import experiment_requests
+from repro.jobs.telemetry import (
+    JobRecord,
+    TelemetryWriter,
+    default_telemetry_path,
+    latest_telemetry,
+    read_records,
+    render_summary,
+    summarize,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "JobExecutionError",
+    "JobExecutor",
+    "JobGraph",
+    "JobRecord",
+    "JobRunner",
+    "JobSpec",
+    "NullCache",
+    "ResultCache",
+    "RunRequest",
+    "TelemetryWriter",
+    "build_job_graph",
+    "canonical_params",
+    "code_salt",
+    "default_telemetry_path",
+    "execute_group",
+    "experiment_requests",
+    "job_fingerprint",
+    "latest_telemetry",
+    "read_records",
+    "render_summary",
+    "summarize",
+]

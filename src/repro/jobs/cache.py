@@ -1,0 +1,126 @@
+"""Content-addressed on-disk result cache.
+
+Entries are pickled job results stored under
+``<root>/objects/<key[:2]>/<key>.pkl`` where ``key`` is the job
+fingerprint (:mod:`repro.jobs.fingerprint`).  Writes are atomic
+(temp file + ``os.replace``) so concurrent workers and interrupted runs
+can never leave a torn entry; reads treat any unpicklable entry as a
+miss and delete it.  Invalidation is purely key-based: a model change
+rotates the code salt, old keys stop being looked up, and ``prune``
+removes them.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Pickle-on-disk store addressed by content fingerprint."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self._objects = os.path.join(root, "objects")
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self._objects, key[:2], f"{key}.pkl")
+
+    def get(self, key: str) -> Optional[Any]:
+        """Stored object for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, OSError,
+                AttributeError):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically store ``value`` under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+
+    def keys(self) -> List[str]:
+        found = []
+        for dirpath, _dirnames, filenames in os.walk(self._objects):
+            for name in filenames:
+                if name.endswith(".pkl"):
+                    found.append(name[:-len(".pkl")])
+        return sorted(found)
+
+    def stats(self) -> Dict[str, int]:
+        """Entry count and total size in bytes."""
+        entries, nbytes = 0, 0
+        for dirpath, _dirnames, filenames in os.walk(self._objects):
+            for name in filenames:
+                if name.endswith(".pkl"):
+                    entries += 1
+                    nbytes += os.path.getsize(os.path.join(dirpath,
+                                                           name))
+        return {"entries": entries, "bytes": nbytes}
+
+    def prune(self, live_keys) -> Tuple[int, int]:
+        """Drop entries not in ``live_keys``; returns (kept, removed)."""
+        live = set(live_keys)
+        kept = removed = 0
+        for key in self.keys():
+            if key in live:
+                kept += 1
+            else:
+                try:
+                    os.remove(self._path(key))
+                    removed += 1
+                except OSError:
+                    pass
+        return kept, removed
+
+
+class NullCache:
+    """Cache interface that stores nothing (``--no-cache``)."""
+
+    root = None
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def get(self, key: str) -> Optional[Any]:
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        pass
+
+    def keys(self) -> List[str]:
+        return []
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": 0, "bytes": 0}

@@ -1,0 +1,290 @@
+"""Job-graph execution: serial or process-pool, with retries.
+
+The unit of dispatch is a *group* — one profile job plus every price
+job that depends on it (:meth:`~repro.jobs.model.JobGraph.groups`).
+Executing a whole group inside one worker keeps the shared profiling
+pass in that worker's memory: only the job specs travel to the worker
+and only small :class:`~repro.sim.metrics.RunMetrics` records travel
+back, so the expensive workload/profile structures never need to cross
+a process boundary (though they can — see
+``tests/test_jobs_pickle.py``).
+
+Execution policy:
+
+* ``jobs == 1`` runs everything in-process on one shared
+  :class:`~repro.sim.runner.Runner` (no pool, no pickling);
+* ``jobs > 1`` uses a ``ProcessPoolExecutor``; each worker memoizes one
+  Runner per (scale, system) so successive groups on the same worker
+  reuse its workloads and profiles;
+* a group that fails or times out is retried up to ``retries`` times,
+  then re-run in-process as a last resort (which also transparently
+  covers payloads the pool cannot pickle);
+* per-job cache lookups happen before dispatch, so a warm-cache run
+  dispatches nothing and profiles nothing.
+
+Results are returned keyed by :class:`~repro.jobs.model.RunRequest`
+in deterministic (request-insertion) order regardless of completion
+order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
+    FutureTimeout
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.jobs.cache import NullCache, ResultCache
+from repro.jobs.fingerprint import job_fingerprint
+from repro.jobs.model import (
+    JobGraph,
+    JobSpec,
+    RunRequest,
+    build_job_graph,
+    params_to_kwargs,
+)
+from repro.jobs.telemetry import JobRecord, TelemetryWriter
+from repro.sim.metrics import RunMetrics
+
+#: One executed job coming back from a worker:
+#: (job_id, result or None, wall seconds, worker pid, error string).
+JobOutcome = Tuple[str, Optional[RunMetrics], float, int, str]
+
+#: Per-process Runner memo (worker side), keyed by (scale, system).
+_WORKER_RUNNERS: Dict[Tuple[int, Optional[SystemConfig]], object] = {}
+
+
+def _runner_for(scale: int, system: Optional[SystemConfig]):
+    from repro.sim.runner import Runner
+    key = (scale, system)
+    if key not in _WORKER_RUNNERS:
+        _WORKER_RUNNERS[key] = Runner(scale=scale, system=system)
+    return _WORKER_RUNNERS[key]
+
+
+def execute_group(scale: int, system: Optional[SystemConfig],
+                  profile: JobSpec,
+                  prices: List[JobSpec]) -> List[JobOutcome]:
+    """Run one profile job and its price jobs on this process's Runner.
+
+    Module-level so the process pool can pickle it by reference; also
+    the serial path's implementation.  Failures are captured per job so
+    one bad configuration cannot take down its group's siblings.
+    """
+    runner = _runner_for(scale, system)
+    pid = os.getpid()
+    outcomes: List[JobOutcome] = []
+    start = time.time()
+    try:
+        runner.profiles(profile.app, profile.dataset,
+                        profile.preprocessing)
+        outcomes.append((profile.job_id, None, time.time() - start,
+                         pid, ""))
+    except Exception as exc:  # profiling failed: poisons the group
+        wall = time.time() - start
+        outcomes.append((profile.job_id, None, wall, pid, repr(exc)))
+        for job in prices:
+            outcomes.append((job.job_id, None, 0.0, pid, repr(exc)))
+        return outcomes
+    for job in prices:
+        start = time.time()
+        try:
+            metrics = runner.run(job.app, job.scheme, job.dataset,
+                                 job.preprocessing,
+                                 **params_to_kwargs(job.params))
+            outcomes.append((job.job_id, metrics, time.time() - start,
+                             pid, ""))
+        except Exception as exc:
+            outcomes.append((job.job_id, None, time.time() - start,
+                             pid, repr(exc)))
+    return outcomes
+
+
+class JobExecutionError(RuntimeError):
+    """A job failed after exhausting its retries and the fallback."""
+
+
+class JobExecutor:
+    """Executes a job graph against one model configuration."""
+
+    def __init__(self, scale: int,
+                 system: Optional[SystemConfig] = None,
+                 jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 telemetry: Optional[TelemetryWriter] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 1,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.scale = scale
+        self.system = system
+        self.jobs = jobs
+        self.cache = cache if cache is not None else NullCache()
+        self.telemetry = telemetry if telemetry is not None \
+            else TelemetryWriter(path=None)
+        self.timeout = timeout
+        self.retries = retries
+        self._progress = progress or (lambda _msg: None)
+
+    # -- cache bookkeeping ------------------------------------------------
+
+    def _fingerprint(self, job: JobSpec) -> str:
+        system = self.system if self.system is not None \
+            else SystemConfig().scaled(self.scale)
+        return job_fingerprint(job, self.scale, system)
+
+    def _lookup(self, graph: JobGraph) -> Tuple[
+            Dict[str, RunMetrics], Dict[str, str]]:
+        """Pre-dispatch cache pass: (hits by job id, key by job id)."""
+        hits: Dict[str, RunMetrics] = {}
+        keys: Dict[str, str] = {}
+        for job in graph.price_jobs:
+            keys[job.job_id] = key = self._fingerprint(job)
+            cached = self.cache.get(key)
+            if cached is not None:
+                hits[job.job_id] = cached
+        return hits, keys
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, requests: List[RunRequest]
+            ) -> Dict[RunRequest, RunMetrics]:
+        """Execute all requests; returns results in request order."""
+        graph = build_job_graph(requests)
+        self.telemetry.start(self.jobs, len(graph.request_jobs),
+                             getattr(self.cache, "root", None))
+        hits, keys = self._lookup(graph)
+        results: Dict[str, RunMetrics] = dict(hits)
+
+        pending: List[Tuple[JobSpec, List[JobSpec]]] = []
+        for profile, prices in graph.groups():
+            missing = [j for j in prices if j.job_id not in hits]
+            for job in prices:
+                if job.job_id in hits:
+                    self.telemetry.record(JobRecord(
+                        job_id=job.job_id, kind=job.kind, status="hit",
+                        app=job.app, dataset=job.dataset,
+                        preprocessing=job.preprocessing,
+                        scheme=job.scheme,
+                        cache_key=keys[job.job_id]))
+            if missing:
+                pending.append((profile, missing))
+            else:
+                self.telemetry.record(JobRecord(
+                    job_id=profile.job_id, kind=profile.kind,
+                    status="skipped", app=profile.app,
+                    dataset=profile.dataset,
+                    preprocessing=profile.preprocessing))
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                outcomes = self._run_serial(pending)
+            else:
+                outcomes = self._run_pool(pending)
+            self._absorb(outcomes, keys, results)
+
+        summary = self.telemetry.finish()
+        self._progress(
+            f"jobs: {summary['jobs']} total, {summary['hit']} cache "
+            f"hits, {summary['miss']} executed, "
+            f"{float(summary['wall_s']):.1f}s")
+        return {request: results[job_id]
+                for request, job_id in graph.request_jobs.items()}
+
+    def _absorb(self, outcomes: Dict[str, Tuple[JobOutcome, int]],
+                keys: Dict[str, str],
+                results: Dict[str, RunMetrics]) -> None:
+        """Record telemetry, fill the cache, surface failures."""
+        failed: List[str] = []
+        for job_id in sorted(outcomes):
+            (jid, metrics, wall, pid, error), retries = outcomes[job_id]
+            kind = "price" if jid.startswith("price:") else "profile"
+            self.telemetry.record(JobRecord(
+                job_id=jid, kind=kind,
+                status="failed" if error else "miss", wall_s=wall,
+                retries=retries, worker_pid=pid, error=error,
+                cache_key=keys.get(jid, "")))
+            if error and kind == "price":
+                failed.append(f"{jid}: {error}")
+            if metrics is not None:
+                results[jid] = metrics
+                self.cache.put(keys[jid], metrics)
+        if failed:
+            raise JobExecutionError(
+                "jobs failed after retries:\n  " + "\n  ".join(failed))
+
+    def _group_has_failure(self, group: List[JobOutcome]) -> bool:
+        return any(error for _jid, _m, _w, _p, error in group)
+
+    def _run_serial(self, pending) -> Dict[str, Tuple[JobOutcome, int]]:
+        """In-process execution with bounded per-group retry."""
+        outcomes: Dict[str, Tuple[JobOutcome, int]] = {}
+        for index, (profile, prices) in enumerate(pending):
+            attempt = 0
+            group = execute_group(self.scale, self.system, profile,
+                                  prices)
+            while self._group_has_failure(group) and \
+                    attempt < self.retries:
+                attempt += 1
+                group = execute_group(self.scale, self.system, profile,
+                                      prices)
+            for outcome in group:
+                outcomes[outcome[0]] = (outcome, attempt)
+            self._progress(f"group {index + 1}/{len(pending)}: "
+                           f"{profile.job_id}")
+        return outcomes
+
+    def _run_pool(self, pending) -> Dict[str, Tuple[JobOutcome, int]]:
+        """Process-pool execution; per-group timeout, retry, fallback."""
+        outcomes: Dict[str, Tuple[JobOutcome, int]] = {}
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+        except (OSError, ValueError):  # e.g. sandboxed /dev/shm
+            return self._run_serial(pending)
+        done_groups = 0
+        try:
+            futures = {}
+            for profile, prices in pending:
+                future = pool.submit(execute_group, self.scale,
+                                     self.system, profile, prices)
+                futures[future] = (profile, prices, 0)
+            while futures:
+                future = next(iter(futures))
+                profile, prices, attempt = futures.pop(future)
+                group: Optional[List[JobOutcome]] = None
+                try:
+                    group = future.result(timeout=self.timeout)
+                    if self._group_has_failure(group) and \
+                            attempt < self.retries:
+                        group = None  # retry the whole group
+                except FutureTimeout:
+                    future.cancel()
+                except Exception:
+                    # Broken pool, unpicklable payload/result, worker
+                    # death: handled below by retry/local fallback.
+                    pass
+                if group is None:
+                    if attempt < self.retries:
+                        try:
+                            retry = pool.submit(execute_group,
+                                                self.scale, self.system,
+                                                profile, prices)
+                            futures[retry] = (profile, prices,
+                                              attempt + 1)
+                            continue
+                        except Exception:  # pool unusable; go local
+                            pass
+                    group = execute_group(self.scale, self.system,
+                                          profile, prices)
+                    attempt += 1
+                for outcome in group:
+                    outcomes[outcome[0]] = (outcome, attempt)
+                done_groups += 1
+                self._progress(f"group {done_groups}/{len(pending)}: "
+                               f"{profile.job_id}")
+        finally:
+            pool.shutdown(wait=False)
+        return outcomes

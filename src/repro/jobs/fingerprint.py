@@ -1,0 +1,86 @@
+"""Content-addressed cache keys for job results.
+
+A price job's result is a pure function of (a) the model code, (b) the
+system configuration and scale, and (c) the job's own identity — app,
+dataset, preprocessing, scheme, extra parameters.  Datasets themselves
+are deterministic functions of ``(name, preprocessing, scale)`` (seeded
+synthetic generators, see :mod:`repro.graph.datasets`), so naming them
+is enough; no graph bytes need hashing.
+
+The *code salt* folds the source text of every module that can affect a
+simulation result into the key, so any model change automatically
+invalidates stale cache entries — no manual version bumping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from functools import lru_cache
+
+from repro.config import SystemConfig
+from repro.jobs.model import JobSpec
+
+#: Top-level entries under ``src/repro`` that cannot change simulation
+#: results: orchestration, rendering, and interface layers.
+_SALT_EXCLUDE = {"jobs", "harness", "cli.py", "__main__.py"}
+
+
+@lru_cache(maxsize=1)
+def code_salt() -> str:
+    """Digest of all result-affecting source files, for invalidation."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        rel = os.path.relpath(dirpath, root)
+        top = rel.split(os.sep, 1)[0]
+        if top in _SALT_EXCLUDE or "__pycache__" in rel:
+            dirnames[:] = []
+            continue
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py") or \
+                    (rel == "." and name in _SALT_EXCLUDE):
+                continue
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()[:16]
+
+
+def _jsonable(value: object) -> object:
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_jsonable(v) for v in value]
+        return sorted(items, key=repr) if isinstance(
+            value, (set, frozenset)) else items
+    return value
+
+
+def fingerprint(payload: object) -> str:
+    """SHA-256 of a canonical-JSON rendering of ``payload``."""
+    text = json.dumps(_jsonable(payload), sort_keys=True,
+                      separators=(",", ":"), default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def job_fingerprint(job: JobSpec, scale: int,
+                    system: SystemConfig) -> str:
+    """Cache key for one price job under one model configuration."""
+    return fingerprint({
+        "salt": code_salt(),
+        "scale": scale,
+        "system": system,
+        "kind": job.kind,
+        "app": job.app,
+        "dataset": job.dataset,
+        "preprocessing": job.preprocessing,
+        "scheme": job.scheme,
+        "params": job.params,
+    })

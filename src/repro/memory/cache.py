@@ -16,8 +16,8 @@ Both track hits, misses, and dirty evictions (writebacks).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.config import CacheConfig
 

@@ -19,7 +19,7 @@ Fig 22 demonstrates.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.memory.cache import CacheStats
 

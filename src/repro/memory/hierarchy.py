@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.config import SystemConfig
 from repro.memory.address import AddressSpace, LINE_BYTES
-from repro.memory.cache import FastLruCache, SetAssocCache, make_cache
+from repro.memory.cache import make_cache
 from repro.memory.dram import DramModel
 from repro.memory.noc import MeshNoc
 

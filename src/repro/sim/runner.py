@@ -47,8 +47,15 @@ class Runner:
         self._cfgs: Dict[str, ModelConfig] = {}
 
     def config_for(self, workload: Workload) -> ModelConfig:
-        """Model config with the LLC sized for this input (see above)."""
-        key = f"{workload.graph.num_vertices}"
+        """Model config with the LLC sized for this input (see above).
+
+        Keyed on the workload's full identity (app + graph content),
+        not just the vertex count: distinct datasets can share a vertex
+        count today without colliding here (the sizing below reads only
+        ``num_vertices``), but any future per-input sizing term would
+        silently cross-contaminate configs under the old key.
+        """
+        key = f"{workload.app}/{workload.graph.content_digest()}"
         if key not in self._cfgs:
             from dataclasses import replace
             target = int(LLC_DEST_RESIDENCY

@@ -79,3 +79,59 @@ class TestReport:
         from repro.harness import generate_report
         text = generate_report(experiment_ids=["table2"])
         assert "L3 cache" in text
+
+
+class TestReportOrchestration:
+    """`report` through the jobs layer: parallel + cached runs."""
+
+    #: fig07 + fig08 span two profiling groups (none/dfs), so --jobs 2
+    #: genuinely exercises the process pool; tiny scale keeps it quick.
+    ARGS = ["report", "--experiments", "fig07", "fig08",
+            "--scale", "65536"]
+
+    def _report(self, tmp_path, name, *extra):
+        out = tmp_path / name
+        assert main(self.ARGS + ["--out", str(out), *extra]) == 0
+        return out.read_text()
+
+    def test_jobs_1_and_2_produce_identical_tables(self, tmp_path):
+        serial = self._report(tmp_path, "serial.md", "--no-cache")
+        parallel = self._report(tmp_path, "parallel.md", "--no-cache",
+                                "--jobs", "2")
+        assert serial == parallel
+        assert "## fig07" in serial and "## fig08" in serial
+
+    def test_warm_cache_rerun_is_byte_identical_and_all_hits(
+            self, tmp_path, capsys):
+        from repro.jobs import latest_telemetry, summarize
+        cache = str(tmp_path / "cache")
+        cold = self._report(tmp_path, "cold.md", "--cache-dir", cache)
+        warm = self._report(tmp_path, "warm.md", "--cache-dir", cache)
+        assert warm == cold
+        from repro.jobs import read_records
+        path = latest_telemetry(cache)
+        summary = summarize(path)
+        assert summary["by_status"]["miss"] == 0
+        assert summary["by_status"]["failed"] == 0
+        assert summary["hit_rate"] == 1.0
+        # Warm runs never profile: every profile job is skipped.
+        profile_jobs = [r for r in read_records(path)
+                        if r.get("event") == "job"
+                        and r.get("kind") == "profile"]
+        assert profile_jobs
+        assert all(r["status"] == "skipped" for r in profile_jobs)
+
+    def test_jobs_command_summarizes_latest_run(self, tmp_path,
+                                                capsys):
+        cache = str(tmp_path / "cache")
+        self._report(tmp_path, "run.md", "--cache-dir", cache)
+        capsys.readouterr()
+        assert main(["jobs", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "entries" in out
+
+    def test_jobs_command_without_telemetry_fails_cleanly(
+            self, tmp_path, capsys):
+        assert main(["jobs", "--cache-dir",
+                     str(tmp_path / "empty")]) == 1

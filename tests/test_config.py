@@ -3,7 +3,6 @@
 import pytest
 
 from repro.config import (
-    CacheConfig,
     SystemConfig,
     default_system,
     model_system,

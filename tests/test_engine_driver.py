@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import SpZipConfig
-from repro.dcl import Entry, MarkerQueue, Program, RoundRobinScheduler, \
+from repro.dcl import Entry, MarkerQueue, RoundRobinScheduler, \
     pack_range
 from repro.engine import (
     INPUT_QUEUE,

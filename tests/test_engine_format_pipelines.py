@@ -1,7 +1,5 @@
 """Functional tests: DCL traversals of COO, DCSR, and ELL (Sec II-B)."""
 
-import numpy as np
-
 from repro.config import SpZipConfig
 from repro.dcl import pack_range
 from repro.engine import Fetcher, drive

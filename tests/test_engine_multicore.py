@@ -1,6 +1,5 @@
 """Tests for the functional multicore traversal (Sec III-D runtime)."""
 
-import numpy as np
 import pytest
 
 from repro.config import SystemConfig

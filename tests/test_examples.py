@@ -6,7 +6,6 @@ test.
 """
 
 import os
-import sys
 
 import pytest
 

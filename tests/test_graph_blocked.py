@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import CsrGraph, community_graph
+from repro.graph import community_graph
 from repro.graph.blocked import BlockedGraph
 
 

@@ -1,0 +1,80 @@
+"""Regression: profiling results must cross process boundaries.
+
+The jobs layer's workers return :class:`RunMetrics` and may ship
+:class:`Workload`/:class:`IterationProfile` structures through the
+process pool; all three must survive a pickle round trip unchanged.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import Runner
+
+SCALE = 65536
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(scale=SCALE)
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj,
+                                     protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def test_workload_roundtrips(runner):
+    workload = runner.workload("dc", "arb")
+    clone = roundtrip(workload)
+    assert clone.app == workload.app
+    assert clone.frontier_based == workload.frontier_based
+    assert clone.dst_value_bytes == workload.dst_value_bytes
+    np.testing.assert_array_equal(clone.graph.offsets,
+                                  workload.graph.offsets)
+    np.testing.assert_array_equal(clone.graph.neighbors,
+                                  workload.graph.neighbors)
+    assert clone.graph.content_digest() == \
+        workload.graph.content_digest()
+    assert len(clone.iterations) == len(workload.iterations)
+    for ours, theirs in zip(workload.iterations, clone.iterations):
+        assert theirs.weight == ours.weight
+        np.testing.assert_array_equal(theirs.sources, ours.sources)
+        np.testing.assert_array_equal(theirs.src_values,
+                                      ours.src_values)
+        np.testing.assert_array_equal(theirs.update_values,
+                                      ours.update_values)
+
+
+def test_iteration_profiles_roundtrip(runner):
+    profiles = runner.profiles("dc", "arb")
+    assert profiles
+    clones = roundtrip(profiles)
+    assert clones == profiles  # dataclass equality, field by field
+
+
+def test_run_metrics_roundtrip(runner):
+    metrics = runner.run("dc", "phi+spzip", "arb")
+    clone = roundtrip(metrics)
+    assert clone == metrics
+    assert isinstance(clone, RunMetrics)
+    # Bit-exact floats: warm-cache reports must be byte-identical.
+    assert clone.cycles.hex() == metrics.cycles.hex()
+    for cls, nbytes in metrics.traffic.items():
+        assert clone.traffic[cls].hex() == nbytes.hex()
+
+
+def test_workload_roundtrip_prices_identically(runner):
+    """A shipped workload simulates exactly like the original."""
+    from repro.runtime.strategies import simulate_scheme
+    workload = runner.workload("dc", "arb")
+    profiles = runner.profiles("dc", "arb")
+    cfg = runner.config_for(workload)
+    local = simulate_scheme(workload, profiles, "phi", cfg,
+                            dataset="arb", preprocessing="none")
+    shipped = simulate_scheme(roundtrip(workload), roundtrip(profiles),
+                              "phi", roundtrip(cfg),
+                              dataset="arb", preprocessing="none")
+    assert shipped == local

@@ -1,7 +1,6 @@
 """Hierarchy tests on the exact set-associative path (fast=False)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

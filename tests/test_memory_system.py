@@ -1,6 +1,5 @@
 """Tests for DRAM, NoC, hierarchy, and the compressed-hierarchy models."""
 
-import numpy as np
 import pytest
 
 from repro.config import MemoryConfig, NocConfig, SystemConfig

@@ -1,11 +1,10 @@
 """Tests for the per-iteration traffic profiler."""
 
 import numpy as np
-import pytest
 
 from repro.apps import pagerank, bfs as bfs_app
 from repro.config import SystemConfig
-from repro.graph import CsrGraph, community_graph
+from repro.graph import community_graph
 from repro.runtime import (
     ModelConfig,
     chunked_ids_values_compressed,
