@@ -1,0 +1,213 @@
+"""Perf smoke test: vectorized replay kernels vs. scalar references.
+
+Generates scatter streams shaped like the traffic model's real replays
+(sorted neighbor runs with a power-law hub skew, 16 destinations per
+line) in two regimes:
+
+* **binned** — destination ranges bounded the way the paper's binned
+  schemes bound them (each bin's slice of the destination array fits in
+  the cache budget).  This is the profiling hot path, and the regime
+  the batch kernel's all-fit shortcut fully vectorizes.
+* **unbinned** — one unbounded stream whose working set thrashes the
+  cache.  Exact LRU decisions here are irreducibly sequential; the
+  adaptive kernel detects this and falls back to a collapsed-trace
+  walk, so the expectation is parity (~1x), not a win.
+
+Every kernel result is checked against the scalar reference before
+timings are recorded in ``BENCH_pr2.json``.  Exits nonzero if any
+kernel diverges or the binned Push-scatter speedup falls below the 3x
+floor this PR promises.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--out BENCH_pr2.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.memory import FastLruCache
+from repro.runtime.traffic import (
+    _lru_scatter,
+    _phi_coalesce,
+    lru_scatter_replay,
+    phi_coalesce_replay,
+)
+
+#: Minimum acceptable speedup for the binned Push destination-scatter
+#: replay (the profiling hot path).
+SCATTER_SPEEDUP_FLOOR = 3.0
+
+#: Destinations per bin: the default model config's LLC budget at 4-byte
+#: values (SystemConfig().scaled(DEFAULT_SCALE) gives a 32 KiB model
+#: LLC; vertices_per_bin = 0.5 * 32768 / 4 = 4096).
+BIN_VERTICES = 4096
+CAPACITY_LINES = 512
+VALUES_PER_LINE = 16  # 4-byte destination values, 64-byte lines
+
+
+def make_rows(rng, num_rows, num_dsts, base=0):
+    """Sorted neighbor runs with zipf-skewed hubs, like a CSR scatter."""
+    return [base + np.sort(rng.zipf(1.25, rng.integers(4, 80))
+                           % num_dsts)
+            for _ in range(num_rows)]
+
+
+def make_binned_streams(num_bins, rows_per_bin, seed=7):
+    rng = np.random.default_rng(seed)
+    streams = []
+    for b in range(num_bins):
+        dsts = np.concatenate(
+            make_rows(rng, rows_per_bin, BIN_VERTICES,
+                      base=b * BIN_VERTICES))
+        streams.append((dsts // VALUES_PER_LINE).astype(np.int64))
+    return streams
+
+
+def make_unbinned_stream(num_rows, num_dsts, seed=11):
+    rng = np.random.default_rng(seed)
+    dsts = np.concatenate(make_rows(rng, num_rows, num_dsts))
+    return (dsts // VALUES_PER_LINE).astype(np.int64)
+
+
+def timeit(fn, repeats=3):
+    """Best-of-N wall time and the function's result."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_scatter(streams, capacity):
+    scalar_s, scalar_out = timeit(
+        lambda: [_lru_scatter(s, capacity) for s in streams])
+    batch_s, batch_out = timeit(
+        lambda: [lru_scatter_replay(s, capacity) for s in streams])
+    assert scalar_out == batch_out, "scatter replay diverged"
+    return {
+        "accesses": int(sum(s.size for s in streams)),
+        "streams": len(streams),
+        "capacity_lines": capacity,
+        "misses": int(sum(m for m, _ in batch_out)),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def bench_phi_coalesce(streams, capacity):
+    def run(fn):
+        out = []
+        for lines in streams:
+            dsts = lines * VALUES_PER_LINE  # line-granular dst ids
+            values = (np.arange(dsts.size, dtype=np.uint64)
+                      * 2654435761).astype(np.uint32)
+            out.append(fn(dsts, values, 4, capacity))
+        return out
+
+    scalar_s, scalar_out = timeit(lambda: run(_phi_coalesce))
+    batch_s, batch_out = timeit(lambda: run(phi_coalesce_replay))
+    for (ia, va, la), (ib, vb, lb) in zip(scalar_out, batch_out):
+        assert np.array_equal(ia, ib) and np.array_equal(va, vb) \
+            and la == lb, "phi coalescing replay diverged"
+    return {
+        "updates": int(sum(s.size for s in streams)),
+        "capacity_lines": capacity,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def bench_access_many(streams, capacity):
+    def scalar():
+        stats = []
+        for lines in streams:
+            cache = FastLruCache(capacity)
+            writes = (lines % 3) == 0
+            for line, write in zip(lines.tolist(), writes.tolist()):
+                cache.access(line, write)
+            stats.append(vars(cache.stats))
+        return stats
+
+    def batch():
+        stats = []
+        for lines in streams:
+            cache = FastLruCache(capacity)
+            cache.access_many(lines, (lines % 3) == 0)
+            stats.append(vars(cache.stats))
+        return stats
+
+    scalar_s, scalar_stats = timeit(scalar)
+    batch_s, batch_stats = timeit(batch)
+    assert scalar_stats == batch_stats, "access_many stats diverged"
+    return {
+        "accesses": int(sum(s.size for s in streams)),
+        "capacity_lines": capacity,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def report(label, row):
+    print(f"{label:22s}: {row['scalar_s']:.3f}s scalar / "
+          f"{row['batch_s']:.3f}s batch = {row['speedup']:.1f}x",
+          file=sys.stderr)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_pr2.json",
+                        help="where to write the results JSON")
+    parser.add_argument("--bins", type=int, default=100)
+    parser.add_argument("--rows-per-bin", type=int, default=400)
+    args = parser.parse_args(argv)
+
+    binned = make_binned_streams(args.bins, args.rows_per_bin)
+    unbinned = make_unbinned_stream(args.bins * args.rows_per_bin,
+                                    200_000)
+
+    push = bench_scatter(binned, CAPACITY_LINES)
+    report("push scatter (binned)", push)
+    push_unbinned = bench_scatter([unbinned], CAPACITY_LINES)
+    report("push scatter (thrash)", push_unbinned)
+    phi = bench_phi_coalesce(binned[:25], CAPACITY_LINES)
+    report("phi coalesce (binned)", phi)
+    cache = bench_access_many(binned[:25], CAPACITY_LINES)
+    report("access_many (binned)", cache)
+
+    record = {
+        "bench": "pr2_batch_replay",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "push_scatter_binned": push,
+        "push_scatter_unbinned": push_unbinned,
+        "phi_coalesce": phi,
+        "fast_lru_access_many": cache,
+        "speedup_floor": SCATTER_SPEEDUP_FLOOR,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    if push["speedup"] < SCATTER_SPEEDUP_FLOOR:
+        print(f"FAIL: binned push-scatter speedup "
+              f"{push['speedup']:.2f}x below "
+              f"{SCATTER_SPEEDUP_FLOOR}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

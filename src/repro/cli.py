@@ -223,6 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="run one table/figure experiment")
     experiment.add_argument("id")
     experiment.add_argument("--scale", type=int, default=4096)
+    experiment.add_argument("--perf", action="store_true",
+                            help="print per-stage profiling to stderr")
 
     simulate = sub.add_parser("simulate",
                               help="simulate one app/scheme/input")
@@ -231,6 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--dataset", default="ukl")
     simulate.add_argument("--preprocessing", default="none")
     simulate.add_argument("--scale", type=int, default=4096)
+    simulate.add_argument("--perf", action="store_true",
+                          help="print per-stage profiling to stderr")
 
     compress = sub.add_parser("compress", help="demo a codec")
     compress.add_argument("--codec", default="delta")
@@ -254,6 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-job-group timeout in seconds")
     report.add_argument("--retries", type=int, default=1,
                         help="retries per failed/timed-out job group")
+    report.add_argument("--perf", action="store_true",
+                        help="print per-stage profiling to stderr")
 
     jobs = sub.add_parser("jobs",
                           help="summarize orchestration telemetry and "
@@ -283,7 +289,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "jobs": _cmd_jobs,
     }
-    return handlers[args.command](args)
+    status = handlers[args.command](args)
+    if getattr(args, "perf", False):
+        from repro.perf import PERF
+        print(PERF.report(), file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

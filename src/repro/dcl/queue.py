@@ -134,10 +134,17 @@ class MarkerQueue:
         return self.pop() if self._entries else None
 
     def drain(self) -> Tuple[Entry, ...]:
-        """Pop everything (test/debug helper)."""
+        """Pop everything and cancel in-flight reservations.
+
+        Draining resets the queue to its full capacity; a reservation
+        whose response will never be pushed (the request was abandoned
+        along with the contents) must release its credit too, or the
+        queue permanently loses that capacity.
+        """
         out = tuple(self._entries)
         self._entries.clear()
         self._used_bytes = 0
+        self._reserved_bytes = 0
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -68,7 +68,7 @@ def scatter_miss_rate(graph: CsrGraph, source_order: np.ndarray,
     Unlike the profiler's gather, this respects the *processing order*
     of the sources — which is the whole point of traversal scheduling.
     """
-    from repro.runtime.traffic import _lru_scatter
+    from repro.runtime.traffic import lru_scatter_replay
     sources = np.asarray(source_order, dtype=np.int64)
     deg = graph.out_degrees()[sources]
     total = int(deg.sum())
@@ -79,6 +79,6 @@ def scatter_miss_rate(graph: CsrGraph, source_order: np.ndarray,
            + np.arange(total, dtype=np.int64))
     dsts = graph.neighbors[idx]
     per_line = max(1, 64 // dst_value_bytes)
-    misses, _wb = _lru_scatter(dsts.astype(np.int64) // per_line,
-                               cache_lines)
+    misses, _wb = lru_scatter_replay(
+        dsts.astype(np.int64) // per_line, cache_lines)
     return misses / dsts.size

@@ -15,18 +15,31 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 class ResultCache:
-    """Pickle-on-disk store addressed by content fingerprint."""
+    """Pickle-on-disk store addressed by content fingerprint.
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+    Corruption and cleanup failures are survivable (an unreadable entry
+    is just a miss), but never silent: they are reported through
+    ``on_error``, which the job executor wires to its progress/telemetry
+    channel.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR,
+                 on_error: Optional[Callable[[str], None]] = None
+                 ) -> None:
         self.root = root
+        self.on_error = on_error
         self._objects = os.path.join(root, "objects")
+
+    def _report(self, message: str) -> None:
+        if self.on_error is not None:
+            self.on_error(f"cache: {message}")
 
     @property
     def enabled(self) -> bool:
@@ -44,11 +57,13 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except (pickle.UnpicklingError, EOFError, OSError,
-                AttributeError):
+                AttributeError) as exc:
+            self._report(f"dropping unreadable entry {key} ({exc!r})")
             try:
                 os.remove(path)
-            except OSError:
-                pass
+            except OSError as remove_exc:
+                self._report(f"could not remove corrupt entry {key} "
+                             f"({remove_exc!r})")
             return None
 
     def put(self, key: str, value: Any) -> None:
@@ -66,8 +81,9 @@ class ResultCache:
             if os.path.exists(tmp):
                 try:
                     os.remove(tmp)
-                except OSError:
-                    pass
+                except OSError as exc:
+                    self._report(f"could not clean up temp file {tmp} "
+                                 f"({exc!r})")
 
     def keys(self) -> List[str]:
         found = []
@@ -99,8 +115,9 @@ class ResultCache:
                 try:
                     os.remove(self._path(key))
                     removed += 1
-                except OSError:
-                    pass
+                except OSError as exc:
+                    self._report(f"could not prune entry {key} "
+                                 f"({exc!r})")
         return kept, removed
 
 
@@ -108,6 +125,7 @@ class NullCache:
     """Cache interface that stores nothing (``--no-cache``)."""
 
     root = None
+    on_error: Optional[Callable[[str], None]] = None
 
     @property
     def enabled(self) -> bool:

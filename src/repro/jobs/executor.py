@@ -76,29 +76,31 @@ def execute_group(scale: int, system: Optional[SystemConfig],
     runner = _runner_for(scale, system)
     pid = os.getpid()
     outcomes: List[JobOutcome] = []
-    start = time.time()
+    # Durations use the monotonic clock: wall-clock (time.time) can jump
+    # under NTP adjustment, producing negative or wildly wrong job times.
+    start = time.monotonic()
     try:
         runner.profiles(profile.app, profile.dataset,
                         profile.preprocessing)
-        outcomes.append((profile.job_id, None, time.time() - start,
+        outcomes.append((profile.job_id, None, time.monotonic() - start,
                          pid, ""))
     except Exception as exc:  # profiling failed: poisons the group
-        wall = time.time() - start
+        wall = time.monotonic() - start
         outcomes.append((profile.job_id, None, wall, pid, repr(exc)))
         for job in prices:
             outcomes.append((job.job_id, None, 0.0, pid, repr(exc)))
         return outcomes
     for job in prices:
-        start = time.time()
+        start = time.monotonic()
         try:
             metrics = runner.run(job.app, job.scheme, job.dataset,
                                  job.preprocessing,
                                  **params_to_kwargs(job.params))
-            outcomes.append((job.job_id, metrics, time.time() - start,
-                             pid, ""))
+            outcomes.append((job.job_id, metrics,
+                             time.monotonic() - start, pid, ""))
         except Exception as exc:
-            outcomes.append((job.job_id, None, time.time() - start,
-                             pid, repr(exc)))
+            outcomes.append((job.job_id, None,
+                             time.monotonic() - start, pid, repr(exc)))
     return outcomes
 
 
@@ -129,6 +131,11 @@ class JobExecutor:
         self.timeout = timeout
         self.retries = retries
         self._progress = progress or (lambda _msg: None)
+        # Cache-level failures (corrupt entries, cleanup errors) are
+        # non-fatal but must not vanish: route them through this
+        # executor's progress channel unless the cache already reports.
+        if getattr(self.cache, "on_error", None) is None:
+            self.cache.on_error = self._progress
 
     # -- cache bookkeeping ------------------------------------------------
 
@@ -242,7 +249,9 @@ class JobExecutor:
         outcomes: Dict[str, Tuple[JobOutcome, int]] = {}
         try:
             pool = ProcessPoolExecutor(max_workers=self.jobs)
-        except (OSError, ValueError):  # e.g. sandboxed /dev/shm
+        except (OSError, ValueError) as exc:  # e.g. sandboxed /dev/shm
+            self._progress(f"process pool unavailable ({exc!r}); "
+                           f"running {len(pending)} group(s) serially")
             return self._run_serial(pending)
         done_groups = 0
         try:
@@ -262,10 +271,15 @@ class JobExecutor:
                         group = None  # retry the whole group
                 except FutureTimeout:
                     future.cancel()
-                except Exception:
+                    self._progress(
+                        f"group {profile.job_id}: timed out after "
+                        f"{self.timeout}s (attempt {attempt + 1})")
+                except Exception as exc:
                     # Broken pool, unpicklable payload/result, worker
                     # death: handled below by retry/local fallback.
-                    pass
+                    self._progress(f"group {profile.job_id}: worker "
+                                   f"failed with {exc!r} "
+                                   f"(attempt {attempt + 1})")
                 if group is None:
                     if attempt < self.retries:
                         try:
@@ -275,8 +289,11 @@ class JobExecutor:
                             futures[retry] = (profile, prices,
                                               attempt + 1)
                             continue
-                        except Exception:  # pool unusable; go local
-                            pass
+                        except Exception as exc:  # pool unusable
+                            self._progress(
+                                f"group {profile.job_id}: pool resubmit "
+                                f"failed with {exc!r}; running "
+                                f"in-process")
                     group = execute_group(self.scale, self.system,
                                           profile, prices)
                     attempt += 1

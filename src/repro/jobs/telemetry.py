@@ -49,12 +49,18 @@ class JobRecord:
 
 @dataclass
 class TelemetryWriter:
-    """Append-only JSONL emitter for one orchestrated run."""
+    """Append-only JSONL emitter for one orchestrated run.
+
+    Record *timestamps* use the wall clock (meaningful across runs);
+    *durations* use the monotonic clock, which cannot run backwards
+    under NTP slew or clock adjustment.
+    """
 
     path: Optional[str]
     run_id: str = ""
     records: List[JobRecord] = field(default_factory=list)
     _start: float = field(default_factory=time.time)
+    _start_mono: float = field(default_factory=time.monotonic)
 
     def __post_init__(self) -> None:
         if not self.run_id:
@@ -88,7 +94,7 @@ class TelemetryWriter:
         summary: Dict[str, object] = {
             "event": "run_end", "run_id": self.run_id,
             "jobs": len(self.records),
-            "wall_s": time.time() - self._start,
+            "wall_s": time.monotonic() - self._start_mono,
             "retries": sum(r.retries for r in self.records),
         }
         summary.update(counts)

@@ -17,9 +17,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List
+from typing import List, Union
+
+import numpy as np
 
 from repro.config import CacheConfig
+
+#: Below this batch size the scalar loop beats the vectorized replay's
+#: fixed setup cost; both paths are bit-identical either way.
+_BATCH_MIN = 64
 
 # DRRIP constants (2-bit RRPV, 32 dueling sets per policy, 10-bit PSEL).
 _RRPV_BITS = 2
@@ -98,14 +104,43 @@ class SetAssocCache:
         return line in self._tags[self._set_index(line)]
 
     def invalidate(self, line: int) -> None:
+        """Drop a line, accounting it like a replacement victim.
+
+        Mirrors :meth:`_fill`: removing a valid line is an eviction, and
+        a dirty one must be written back — silently dropping it would
+        lose the writeback traffic.  Idempotent: a second invalidate of
+        the same line finds nothing and counts nothing.
+        """
         set_index = self._set_index(line)
         tags = self._tags[set_index]
         try:
             way = tags.index(line)
         except ValueError:
             return
+        self.stats.evictions += 1
+        if self._dirty[set_index][way]:
+            self.stats.writebacks += 1
         tags[way] = -1
         self._dirty[set_index][way] = False
+
+    def access_many(self, lines: np.ndarray,
+                    writes: Union[np.ndarray, bool] = False
+                    ) -> np.ndarray:
+        """Batch access: per-line hit mask, same stats as looped access.
+
+        The exact set-associative model has no vectorized fast path
+        (replacement state is per-set and policy-dependent); this is the
+        batch *interface* — a scalar loop — so callers can drive either
+        cache model through one API.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        writes_arr = np.broadcast_to(
+            np.asarray(writes, dtype=bool), lines.shape)
+        hits = np.empty(lines.size, dtype=bool)
+        for i, (line, write) in enumerate(zip(lines.tolist(),
+                                              writes_arr.tolist())):
+            hits[i] = self.access(line, write)
+        return hits
 
     # -- replacement ------------------------------------------------------
 
@@ -197,6 +232,41 @@ class FastLruCache:
                 self.stats.writebacks += 1
         lines[line] = write
         return False
+
+    def access_many(self, lines: np.ndarray,
+                    writes: Union[np.ndarray, bool] = False
+                    ) -> np.ndarray:
+        """Vectorized batch access; bit-identical to looping ``access``.
+
+        Replays the whole stream offline (LRU stack property, see
+        :mod:`repro.memory.batch`), updates ``stats`` by the same deltas
+        the scalar loop would, and leaves the cache with the same
+        contents, dirty bits, and recency order.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        writes_arr = np.broadcast_to(
+            np.asarray(writes, dtype=bool), lines.shape)
+        if lines.size < _BATCH_MIN:
+            hits = np.empty(lines.size, dtype=bool)
+            for i, (line, write) in enumerate(zip(lines.tolist(),
+                                                  writes_arr.tolist())):
+                hits[i] = self.access(line, write)
+            return hits
+        from repro.memory.batch import replay_lru
+        state_lines = np.fromiter(self._lines.keys(), dtype=np.int64,
+                                  count=len(self._lines))
+        state_dirty = np.fromiter(self._lines.values(), dtype=bool,
+                                  count=len(self._lines))
+        replay = replay_lru(lines, writes_arr, self.capacity_lines,
+                            state_lines, state_dirty)
+        self.stats.hits += int(replay.hit_mask.sum())
+        self.stats.misses += replay.misses
+        self.stats.evictions += replay.evictions
+        self.stats.writebacks += replay.writebacks
+        self._lines = OrderedDict(
+            zip(replay.resident_lines.tolist(),
+                map(bool, replay.resident_dirty.tolist())))
+        return replay.hit_mask
 
     def contains(self, line: int) -> bool:
         return line in self._lines

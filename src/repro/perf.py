@@ -1,0 +1,94 @@
+"""Lightweight profiling: stage timers and counters for the hot paths.
+
+The runner and CLI wrap the expensive stages (profiling replays,
+compression measurement, scheme pricing) in :func:`PerfRegistry.timer`
+context managers; ``python -m repro ... --perf`` prints the breakdown so
+regressions in the vectorized replay kernels are visible without an
+external profiler.  Timers use ``time.perf_counter`` (monotonic), nest
+safely, and cost ~1 µs each, so leaving them in production paths is
+free relative to the stages they measure.
+
+A module-level :data:`PERF` registry is the default instrument; code
+that wants isolation (tests, benchmarks) creates its own registry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class StageStat:
+    """Accumulated cost of one named stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    count: int = 0  # free-form unit counter (accesses, bytes, ...)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class PerfRegistry:
+    """Named stage timers + counters, cheap enough to always be on."""
+
+    stages: Dict[str, StageStat] = field(default_factory=dict)
+    enabled: bool = True
+
+    def stat(self, name: str) -> StageStat:
+        stat = self.stages.get(name)
+        if stat is None:
+            stat = self.stages[name] = StageStat()
+        return stat
+
+    @contextmanager
+    def timer(self, name: str, count: int = 0) -> Iterator[StageStat]:
+        """Time a ``with`` block under ``name``; optionally add units."""
+        if not self.enabled:
+            yield StageStat()
+            return
+        stat = self.stat(name)
+        start = time.perf_counter()
+        try:
+            yield stat
+        finally:
+            stat.seconds += time.perf_counter() - start
+            stat.calls += 1
+            stat.count += count
+
+    def add(self, name: str, count: int = 1) -> None:
+        """Bump a counter without timing anything."""
+        if self.enabled:
+            self.stat(name).count += count
+
+    def reset(self) -> None:
+        self.stages.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict view (JSON-friendly, sorted by time desc)."""
+        return {
+            name: {"calls": stat.calls, "seconds": stat.seconds,
+                   "count": stat.count}
+            for name, stat in sorted(
+                self.stages.items(), key=lambda kv: -kv[1].seconds)
+        }
+
+    def report(self) -> str:
+        """Human-readable per-stage table, heaviest first."""
+        if not self.stages:
+            return "perf: no stages recorded"
+        lines = ["perf: seconds    calls  count       stage"]
+        for name, stat in sorted(self.stages.items(),
+                                 key=lambda kv: -kv[1].seconds):
+            lines.append(f"      {stat.seconds:8.3f} {stat.calls:8d} "
+                         f"{stat.count:11d} {name}")
+        return "\n".join(lines)
+
+
+#: Default registry used by the runner, traffic model, and CLI.
+PERF = PerfRegistry()

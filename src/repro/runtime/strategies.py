@@ -30,7 +30,7 @@ from repro.memory.compressed import LCP_SLOT_SIZES, PAGE_BYTES
 from repro.runtime.traffic import (
     IterationProfile,
     ModelConfig,
-    _lru_scatter,
+    lru_scatter_replay,
     gather_rows,
 )
 from repro.runtime.workload import Workload
@@ -286,7 +286,7 @@ def _simulate_cmh(workload: Workload, profiles: List[IterationProfile],
         if base == "push":
             dsts = gather_rows(workload.graph, it.sources)
             per_line = max(1, LINE_BYTES // workload.dst_value_bytes)
-            misses, writebacks = _lru_scatter(
+            misses, writebacks = lru_scatter_replay(
                 dsts.astype(np.int64) // per_line, capacity)
             # LCP shrinks fetches, but RMW writebacks change line sizes
             # and overflow the page's uniform slots, so writes go out at

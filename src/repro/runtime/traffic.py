@@ -36,6 +36,13 @@ from repro.config import SystemConfig
 from repro.graph.csr import CsrGraph
 from repro.graph.idspace import expand_ids
 from repro.memory.address import LINE_BYTES
+from repro.memory.batch import (
+    _collapse_runs,
+    lru_hit_mask,
+    lru_scatter_misses,
+    previous_occurrence,
+)
+from repro.perf import PERF
 from repro.runtime.workload import Iteration, Workload
 
 #: Compression chunk length (paper Sec III-C: 32 elements).
@@ -249,7 +256,10 @@ def array_compressed_bytes(values: Optional[np.ndarray],
 def _lru_scatter(lines: np.ndarray, capacity: int) -> Tuple[int, int]:
     """Replay a read-modify-write scatter stream through an LRU cache.
 
-    Returns (misses, dirty writebacks incl. final flush).
+    Returns (misses, dirty writebacks incl. final flush).  This is the
+    scalar reference model; the profiling hot path uses the bit-identical
+    vectorized :func:`lru_scatter_replay` (equivalence is enforced by
+    ``tests/test_batch_equivalence.py``).
     """
     cache: "OrderedDict[int, bool]" = OrderedDict()
     misses = 0
@@ -265,6 +275,19 @@ def _lru_scatter(lines: np.ndarray, capacity: int) -> Tuple[int, int]:
             cache[line] = True
     writebacks += len(cache)  # final flush of dirty lines
     return misses, writebacks
+
+
+def lru_scatter_replay(lines: np.ndarray, capacity: int
+                       ) -> Tuple[int, int]:
+    """Vectorized :func:`_lru_scatter`: same (misses, writebacks).
+
+    Every line of an RMW stream is inserted dirty, so lifetime
+    writebacks (evictions plus the final flush) equal the miss count;
+    only the exact LRU miss count needs computing, which
+    :func:`repro.memory.batch.lru_scatter_misses` does offline.
+    """
+    misses = lru_scatter_misses(lines, capacity)
+    return misses, misses
 
 
 def _phi_coalesce(dsts: np.ndarray, values: np.ndarray,
@@ -307,6 +330,92 @@ def _phi_coalesce(dsts: np.ndarray, values: np.ndarray,
     return (np.array(spilled_ids, dtype=np.uint32),
             np.array(spilled_vals, dtype=np.uint64),
             spilled_lines)
+
+
+def phi_coalesce_replay(dsts: np.ndarray, values: np.ndarray,
+                        dst_value_bytes: int, capacity_lines: int
+                        ) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Vectorized :func:`_phi_coalesce`: identical spill stream.
+
+    Key facts that make the event loop unnecessary:
+
+    * hits/misses of the line stream follow from the LRU stack property
+      (:mod:`repro.memory.batch`); each miss opens a *residency
+      segment* of its line, and every segment is eventually spilled
+      (evicted mid-stream or flushed at the end), so ``spilled_lines``
+      is exactly the miss count;
+    * LRU always evicts the resident line with the oldest last access,
+      so evicted segments spill in increasing last-access order, and
+      the final flush walks survivors in the same order — the full
+      spill order is ``(evicted-before-survivors, last access)``;
+    * within a segment the scalar dict holds each destination once, in
+      first-touch order, with its last-written value — a grouped
+      ``lexsort`` dedup.
+    """
+    per_line = max(1, LINE_BYTES // max(4, dst_value_bytes + 4))
+    has_values = values.size == dsts.size
+    vals_iter = values if has_values else np.zeros(dsts.size,
+                                                   dtype=np.uint64)
+    vbits = np.ascontiguousarray(vals_iter).view(
+        np.dtype(f"u{vals_iter.dtype.itemsize}")).astype(np.uint64)
+    lines = dsts.astype(np.int64) // per_line
+    n = lines.size
+    if n == 0:
+        return (np.array([], dtype=np.uint32),
+                np.array([], dtype=np.uint64), 0)
+
+    rep, collapsed_index = _collapse_runs(lines)
+    c_lines = lines[rep]
+    prev, _corder = previous_occurrence(c_lines)
+    c_hits = lru_hit_mask(c_lines, capacity_lines, prev=prev)
+    hits_full = np.ones(n, dtype=bool)
+    hits_full[rep] = c_hits
+
+    # Segments, in (line, position) grouped order.
+    order = np.argsort(lines, kind="stable")
+    miss_sorted = ~hits_full[order]
+    seg_of_sorted = np.cumsum(miss_sorted) - 1
+    seg_starts = np.flatnonzero(miss_sorted)
+    num_segments = seg_starts.size
+    seg_end = np.concatenate([seg_starts[1:], [n]]) - 1
+    sorted_lines = lines[order]
+    group_last = np.empty(n, dtype=bool)
+    group_last[-1] = True
+    np.not_equal(sorted_lines[1:], sorted_lines[:-1],
+                 out=group_last[:-1])
+    seg_is_final = group_last[seg_end]
+
+    # Survival of each line's final segment (collapsed positions).
+    t_last_full = order[seg_end]
+    t_last = collapsed_index[t_last_full]
+    survive = np.zeros(num_segments, dtype=bool)
+    prev_sorted_vals = np.sort(prev)
+    d_end = (np.searchsorted(prev_sorted_vals, t_last[seg_is_final],
+                             side="right")
+             - (t_last[seg_is_final] + 1))
+    survive[seg_is_final] = d_end <= capacity_lines - 1
+
+    # Spill rank: evicted segments by last access, then survivors.
+    spill_order = np.lexsort((t_last, survive))
+    seg_rank = np.empty(num_segments, dtype=np.int64)
+    seg_rank[spill_order] = np.arange(num_segments)
+
+    # Dedup (segment, dst): first-touch order, last-written value.
+    dst_sorted = dsts[order].astype(np.int64)
+    order2 = np.lexsort((dst_sorted, seg_of_sorted))
+    seg2 = seg_of_sorted[order2]
+    dst2 = dst_sorted[order2]
+    new_pair = np.empty(n, dtype=bool)
+    new_pair[0] = True
+    new_pair[1:] = (seg2[1:] != seg2[:-1]) | (dst2[1:] != dst2[:-1])
+    pair_first = np.flatnonzero(new_pair)
+    pair_last = np.concatenate([pair_first[1:], [n]]) - 1
+    pair_first_pos = order[order2[pair_first]]
+    out_order = np.lexsort((pair_first_pos,
+                            seg_rank[seg2[pair_first]]))
+    spilled_ids = dst2[pair_first][out_order].astype(np.uint32)
+    spilled_vals = vbits[order[order2[pair_last]]][out_order]
+    return spilled_ids, spilled_vals, int(num_segments)
 
 
 # --------------------------------------------------------------------------
@@ -403,7 +512,9 @@ def profile_iteration(workload: Workload, iteration: Iteration,
     dsts = gather_rows(graph, sources)
     per_line = max(1, LINE_BYTES // dvb)
     dst_lines = (dsts.astype(np.int64) // per_line)
-    misses, writebacks = _lru_scatter(dst_lines, cfg.llc_lines)
+    with PERF.timer("replay.push_scatter", count=int(dst_lines.size)):
+        misses, writebacks = lru_scatter_replay(dst_lines,
+                                                cfg.llc_lines)
     push_dest_read_bytes = misses * LINE_BYTES
     push_dest_write_bytes = writebacks * LINE_BYTES
 
@@ -440,9 +551,10 @@ def profile_iteration(workload: Workload, iteration: Iteration,
                                    * min(1.0, dst_comp / dst_total_raw))
 
     # --- PHI -----------------------------------------------------------------
-    spilled_ids, spilled_vals, spilled_lines = _phi_coalesce(
-        dsts.astype(np.int64), upd_vals if upd_vals.size == dsts.size
-        else np.empty(0), dvb, cfg.llc_lines)
+    with PERF.timer("replay.phi_coalesce", count=int(dsts.size)):
+        spilled_ids, spilled_vals, spilled_lines = phi_coalesce_replay(
+            dsts.astype(np.int64), upd_vals if upd_vals.size == dsts.size
+            else np.empty(0), dvb, cfg.llc_lines)
     # Evicted lines write their *update entries* into bins (Sec II-D),
     # which are later read back during accumulation.
     phi_update_bytes = 2 * _ceil_lines(spilled_ids.size
@@ -469,8 +581,10 @@ def profile_iteration(workload: Workload, iteration: Iteration,
         gather_per_line = max(1, LINE_BYTES // workload.src_value_bytes)
         gather_lines = (transposed.neighbors.astype(np.int64)
                         // gather_per_line)
-        pull_gather_misses, _wb = _lru_scatter(gather_lines,
-                                               cfg.llc_lines)
+        with PERF.timer("replay.pull_gather",
+                        count=int(gather_lines.size)):
+            pull_gather_misses, _wb = lru_scatter_replay(gather_lines,
+                                                         cfg.llc_lines)
         pull_gather_read_bytes = pull_gather_misses * LINE_BYTES
         pull_adj_bytes = _row_line_bytes(
             transposed, np.arange(transposed.num_vertices))

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.graph.datasets import DEFAULT_SCALE, load_preprocessed
+from repro.perf import PERF
 from repro.runtime.traffic import (
     IterationProfile,
     ModelConfig,
@@ -75,13 +76,15 @@ class Runner:
         from repro.apps import build_workload
         key = (app, dataset, preprocessing)
         if key not in self._workloads:
-            if app == "sp":
-                self._workloads[key] = build_workload("sp",
-                                                      scale=self.scale)
-            else:
-                graph = load_preprocessed(dataset, preprocessing,
-                                          self.scale)
-                self._workloads[key] = build_workload(app, graph=graph)
+            with PERF.timer("runner.build_workload"):
+                if app == "sp":
+                    self._workloads[key] = build_workload(
+                        "sp", scale=self.scale)
+                else:
+                    graph = load_preprocessed(dataset, preprocessing,
+                                              self.scale)
+                    self._workloads[key] = build_workload(app,
+                                                          graph=graph)
         return self._workloads[key]
 
     def profiles(self, app: str, dataset: str,
@@ -89,8 +92,9 @@ class Runner:
         key = (app, dataset, preprocessing)
         if key not in self._profiles:
             workload = self.workload(app, dataset, preprocessing)
-            self._profiles[key] = profile_workload(
-                workload, self.config_for(workload))
+            with PERF.timer("runner.profile"):
+                self._profiles[key] = profile_workload(
+                    workload, self.config_for(workload))
         return self._profiles[key]
 
     # -- simulation -------------------------------------------------------------
@@ -102,10 +106,12 @@ class Runner:
         from repro.runtime.strategies import simulate_scheme
         workload = self.workload(app, dataset, preprocessing)
         profiles = self.profiles(app, dataset, preprocessing)
-        return simulate_scheme(workload, profiles, scheme,
-                               self.config_for(workload),
-                               dataset=dataset,
-                               preprocessing=preprocessing, **kwargs)
+        with PERF.timer("runner.price"):
+            return simulate_scheme(workload, profiles, scheme,
+                                   self.config_for(workload),
+                                   dataset=dataset,
+                                   preprocessing=preprocessing,
+                                   **kwargs)
 
     def run_all_schemes(self, app: str, dataset: str,
                         preprocessing: str = "none",

@@ -130,6 +130,37 @@ class TestResultCache:
         assert cache.get("cd" * 32) is None
         assert not os.path.exists(path)
 
+    def test_corruption_is_reported_not_silent(self, tmp_path):
+        """Regression: dropped entries must reach the error channel."""
+        messages = []
+        cache = ResultCache(str(tmp_path), on_error=messages.append)
+        cache.put("cd" * 32, [1, 2])
+        with open(cache._path("cd" * 32), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get("cd" * 32) is None
+        assert len(messages) == 1
+        assert messages[0].startswith("cache: dropping unreadable")
+        assert "cd" * 32 in messages[0]
+
+    def test_executor_wires_cache_error_channel(self, tmp_path):
+        from repro.jobs.executor import JobExecutor
+        seen = []
+        cache = ResultCache(str(tmp_path))
+        JobExecutor(scale=1 << 10, cache=cache, progress=seen.append)
+        assert cache.on_error is not None
+        cache.on_error("hello")
+        assert seen == ["hello"]
+
+    def test_executor_keeps_existing_error_channel(self, tmp_path):
+        from repro.jobs.executor import JobExecutor
+        mine = []
+        handler = mine.append
+        cache = ResultCache(str(tmp_path), on_error=handler)
+        JobExecutor(scale=1 << 10, cache=cache, progress=lambda _m: None)
+        assert cache.on_error is handler
+        cache.on_error("kept")
+        assert mine == ["kept"]
+
     def test_prune_keeps_live_keys(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         cache.put("aa" * 32, 1)
@@ -172,6 +203,9 @@ class TestTelemetry:
         assert summary["jobs"] == 3
         assert summary["by_status"] == {"hit": 1, "miss": 2,
                                         "skipped": 0, "failed": 0}
+        # Run duration comes from the monotonic clock: it can never be
+        # negative, even if the wall clock were stepped mid-run.
+        assert float(lines[-1]["wall_s"]) >= 0.0
         assert summary["retries"] == 1
         assert summary["workers"] == 1
         assert summary["hit_rate"] == pytest.approx(1 / 3)

@@ -60,6 +60,31 @@ class TestSetAssocLru:
         assert not cache.contains(5)
         cache.invalidate(5)  # idempotent
 
+    def test_invalidate_counts_eviction(self):
+        cache = small_cache()
+        cache.access(5)
+        cache.invalidate(5)
+        assert cache.stats.evictions == 1
+        assert cache.stats.writebacks == 0  # clean line: no writeback
+        cache.invalidate(5)  # second call finds nothing
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_dirty_counts_writeback(self):
+        """A dirty line dropped by invalidate must flush, not vanish."""
+        cache = small_cache()
+        cache.access(5, write=True)
+        cache.invalidate(5)
+        assert cache.stats.writebacks == 1
+        assert cache.stats.evictions == 1
+        cache.invalidate(5)  # idempotent: dirty bit was cleared
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate_missing_line_counts_nothing(self):
+        cache = small_cache()
+        cache.invalidate(123)
+        assert cache.stats.evictions == 0
+        assert cache.stats.writebacks == 0
+
     def test_contains_has_no_side_effects(self):
         cache = small_cache()
         cache.access(3)

@@ -1,0 +1,92 @@
+"""Tests for the lightweight perf registry (repro.perf)."""
+
+import time
+
+from repro.perf import PERF, PerfRegistry, StageStat
+
+
+class TestStageStat:
+    def test_mean(self):
+        stat = StageStat(calls=4, seconds=2.0)
+        assert stat.mean_seconds == 0.5
+
+    def test_mean_of_empty_stage_is_zero(self):
+        assert StageStat().mean_seconds == 0.0
+
+
+class TestPerfRegistry:
+    def test_timer_accumulates(self):
+        perf = PerfRegistry()
+        with perf.timer("stage.a"):
+            pass
+        with perf.timer("stage.a", count=10):
+            time.sleep(0.001)
+        stat = perf.snapshot()["stage.a"]
+        assert stat["calls"] == 2
+        assert stat["count"] == 10
+        assert stat["seconds"] > 0.0
+
+    def test_timer_records_on_exception(self):
+        perf = PerfRegistry()
+        try:
+            with perf.timer("stage.boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert perf.snapshot()["stage.boom"]["calls"] == 1
+
+    def test_add_counts_without_timing(self):
+        perf = PerfRegistry()
+        perf.add("items", count=3)
+        perf.add("items", count=4)
+        perf.add("items")
+        stat = perf.snapshot()["items"]
+        assert stat["count"] == 8
+        assert stat["seconds"] == 0.0
+        assert stat["calls"] == 0
+
+    def test_disabled_registry_records_nothing(self):
+        perf = PerfRegistry(enabled=False)
+        with perf.timer("x"):
+            pass
+        perf.add("y")
+        assert perf.snapshot() == {}
+
+    def test_reset(self):
+        perf = PerfRegistry()
+        perf.add("x", count=1)
+        perf.reset()
+        assert perf.snapshot() == {}
+
+    def test_snapshot_is_sorted_heaviest_first_and_detached(self):
+        perf = PerfRegistry()
+        perf.stat("light").seconds = 0.1
+        perf.stat("heavy").seconds = 2.0
+        snap = perf.snapshot()
+        assert list(snap) == ["heavy", "light"]
+        snap["light"]["count"] = 99
+        assert perf.snapshot()["light"]["count"] == 0
+
+    def test_report_renders_all_stages(self):
+        perf = PerfRegistry()
+        perf.stat("replay.push_scatter").seconds = 0.5
+        perf.stat("replay.push_scatter").count = 100
+        perf.stat("runner.profile").seconds = 2.0
+        report = perf.report()
+        assert "replay.push_scatter" in report
+        assert "runner.profile" in report
+        # Heaviest stage first.
+        assert report.index("runner.profile") < \
+            report.index("replay.push_scatter")
+
+    def test_report_when_empty(self):
+        assert PerfRegistry().report()  # non-empty placeholder text
+
+
+class TestModuleRegistry:
+    def test_global_registry_usable(self):
+        PERF.reset()
+        with PERF.timer("test.stage"):
+            pass
+        assert "test.stage" in PERF.snapshot()
+        PERF.reset()
