@@ -8,6 +8,7 @@ gains over their baselines.
 from conftest import run_once
 
 from repro.harness import fig16_per_input
+from repro.schemes import scheme_names
 
 
 def test_fig16_per_input(benchmark, runner, report):
@@ -20,8 +21,7 @@ def test_fig16_per_input(benchmark, runner, report):
     for app in apps:
         for dataset in inputs:
             rows = {s: by_key[(app, dataset, s)]
-                    for s in ("push", "push+spzip", "ub", "ub+spzip",
-                              "phi", "phi+spzip")}
+                    for s in scheme_names("paper")}
             # PHI+SpZip is (essentially) fastest on every (app, input)
             # pair; the model allows UB+SpZip photo-finishes within 10%
             # (the paper itself notes UB+SpZip "is nearly as competitive

@@ -12,15 +12,14 @@ Run:  python examples/scheme_study.py [app] [dataset]
 
 import sys
 
-from repro.runtime.strategies import SCHEMES
 from repro.sim import Runner
 
 
 def show(runner, app, dataset, preprocessing):
     print(f"\n--- {app} on {dataset} "
           f"({preprocessing} preprocessing) ---")
-    runs = {s: runner.run(app, s, dataset, preprocessing)
-            for s in SCHEMES}
+    runs = runner.run_all_schemes(app, dataset, preprocessing,
+                                  schemes="paper")
     base = runs["push"]
     header = (f"{'scheme':12s} {'speedup':>8s} {'traffic':>8s} "
               f"{'adj':>6s} {'src':>6s} {'dst':>6s} {'upd':>6s} bound")

@@ -9,6 +9,10 @@ Commands:
 ``list``
     List available experiments, applications, datasets, schemes, codecs.
 
+``schemes [--group G]``
+    List registered schemes (base, overlay, default compression parts)
+    for one registry group: ``paper``, ``cmh``, ``extensions``, ``all``.
+
 ``simulate --app A --scheme S --dataset D [--preprocessing P]``
     Simulate one configuration and print its metrics.
 
@@ -44,15 +48,40 @@ def _cmd_list(_args) -> int:
     from repro.compression import available_codecs
     from repro.graph.datasets import DATASETS
     from repro.harness import EXPERIMENTS
-    from repro.runtime.strategies import CMH_SCHEMES, EXTRA_SCHEMES, \
-        SCHEMES
+    from repro.schemes import scheme_names
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
     print("apps:       ", ", ".join(ALL_APPS))
     print("datasets:   ", ", ".join(sorted(DATASETS)))
-    print("schemes:    ", ", ".join(SCHEMES + CMH_SCHEMES
-                                    + EXTRA_SCHEMES))
+    print("schemes:    ", ", ".join(scheme_names("all")))
     print("codecs:     ", ", ".join(available_codecs()))
     print("preprocess: ", "none, natural, degree, bfs, dfs, gorder")
+    return 0
+
+
+def _cmd_schemes(args) -> int:
+    """List registered schemes (optionally one group) with details."""
+    from repro.schemes import (
+        REGISTRY,
+        UnknownSchemeError,
+        default_parts,
+    )
+    try:
+        names = REGISTRY.names(args.group)
+    except UnknownSchemeError as err:
+        print(err, file=sys.stderr)
+        return 2
+    memberships = {name: [g for g in REGISTRY.groups() if g != "all"
+                          and name in REGISTRY.names(g)]
+                   for name in names}
+    for name in names:
+        spec = REGISTRY.parse(name)
+        parts = "-" if not spec.spzip else \
+            "+".join(sorted(default_parts(spec.base)))
+        print(f"{name:12s} group={','.join(memberships[name]):10s} "
+              f"base={spec.base:4s} overlay={spec.overlay or '-':5s} "
+              f"default-parts={parts}")
+    print(f"total: {len(names)} schemes; groups: "
+          f"{', '.join(REGISTRY.groups())}")
     return 0
 
 
@@ -70,9 +99,19 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from repro.schemes import (
+        SchemeParseError,
+        UnknownSchemeError,
+        parse_scheme,
+    )
     from repro.sim import Runner
+    try:
+        spec = parse_scheme(args.scheme)
+    except (SchemeParseError, UnknownSchemeError) as err:
+        print(err, file=sys.stderr)
+        return 2
     runner = Runner(scale=args.scale)
-    run = runner.run(args.app, args.scheme, args.dataset,
+    run = runner.run(args.app, spec, args.dataset,
                      args.preprocessing)
     base = runner.run(args.app, "push", args.dataset, args.preprocessing)
     print(f"app={run.app} scheme={run.scheme} dataset={run.dataset} "
@@ -219,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiments/apps/datasets/codecs")
 
+    schemes = sub.add_parser("schemes",
+                             help="list registered schemes and groups")
+    schemes.add_argument("--group", default="all",
+                         help="registry group (paper, cmh, extensions, "
+                              "all)")
+
     experiment = sub.add_parser("experiment",
                                 help="run one table/figure experiment")
     experiment.add_argument("id")
@@ -282,6 +327,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
+        "schemes": _cmd_schemes,
         "experiment": _cmd_experiment,
         "simulate": _cmd_simulate,
         "compress": _cmd_compress,

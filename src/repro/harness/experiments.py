@@ -13,10 +13,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.datasets import GRAPH_INPUTS
-from repro.runtime.strategies import SCHEMES
+from repro.schemes import scheme_names
 from repro.sim.metrics import TRAFFIC_CLASSES, RunMetrics
 from repro.sim.runner import Runner
 from repro.utils import arithmetic_mean, geometric_mean
+
+#: The paper's six schemes (Fig 15 bar order), from the registry.
+SCHEMES = scheme_names("paper")
 
 #: Apps of Fig 15, paper order; "sp" is evaluated on the nlp matrix only.
 GRAPH_APPS = ("pr", "prd", "cc", "re", "dc", "bfs")
@@ -245,8 +248,8 @@ def fig16_per_input(runner: Runner,
     rows = []
     for app in GRAPH_APPS:
         for dataset in GRAPH_INPUTS:
-            runs = {s: runner.run(app, s, dataset, preprocessing)
-                    for s in SCHEMES}
+            runs = runner.run_all_schemes(app, dataset, preprocessing,
+                                          schemes="paper")
             base = runs["push"]
             for scheme in SCHEMES:
                 rows.append({

@@ -25,6 +25,7 @@ from repro.jobs.model import (
     RunRequest,
     build_job_graph,
     canonical_params,
+    canonical_request,
 )
 from repro.jobs.orchestrator import JobRunner
 from repro.jobs.plan import experiment_requests
@@ -52,6 +53,7 @@ __all__ = [
     "TelemetryWriter",
     "build_job_graph",
     "canonical_params",
+    "canonical_request",
     "code_salt",
     "default_telemetry_path",
     "execute_group",

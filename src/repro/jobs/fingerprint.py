@@ -72,7 +72,13 @@ def fingerprint(payload: object) -> str:
 
 def job_fingerprint(job: JobSpec, scale: int,
                     system: SystemConfig) -> str:
-    """Cache key for one price job under one model configuration."""
+    """Cache key for one price job under one model configuration.
+
+    ``job.scheme`` is the spec's canonical string (see
+    :func:`repro.jobs.model.canonical_request`): ablation variants like
+    ``phi+spzip[parts=adjacency]`` are distinct scheme identities here,
+    so Fig 19/20 runs cache independently of the plain scheme.
+    """
     return fingerprint({
         "salt": code_salt(),
         "scale": scale,

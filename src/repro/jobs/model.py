@@ -53,6 +53,26 @@ def params_to_kwargs(params: Params) -> Dict[str, object]:
     return kwargs
 
 
+def canonical_request(app: str, scheme: object, dataset: str,
+                      preprocessing: str = "none",
+                      **kwargs: object) -> "RunRequest":
+    """Build a :class:`RunRequest` with the scheme in canonical form.
+
+    The ablation knobs (``parts``, ``decoupled_only``) are folded into
+    the scheme's canonical string (``phi+spzip[parts=adjacency]``), so
+    Fig 19/20 variants are distinct scheme identities — and therefore
+    distinct cache keys — rather than side-channel params.  Remaining
+    kwargs go through :func:`canonical_params` as before.
+    """
+    from repro.schemes import resolve
+    spec = resolve(scheme,  # type: ignore[arg-type]
+                   parts=kwargs.pop("parts", None),
+                   decoupled_only=bool(kwargs.pop("decoupled_only",
+                                                  False)))
+    return RunRequest(app, spec.canonical(), dataset, preprocessing,
+                      canonical_params(kwargs))
+
+
 @dataclass(frozen=True, order=True)
 class RunRequest:
     """One simulation the caller wants: Runner.run's argument tuple."""

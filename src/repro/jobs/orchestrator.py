@@ -26,7 +26,8 @@ from repro.jobs.fingerprint import job_fingerprint
 from repro.jobs.model import (
     RunRequest,
     build_job_graph,
-    canonical_params,
+    canonical_request,
+    params_to_kwargs,
 )
 from repro.jobs.telemetry import (
     JobRecord,
@@ -91,10 +92,13 @@ class JobRunner(Runner):
 
     # -- Runner interface --------------------------------------------------
 
-    def run(self, app: str, scheme: str, dataset: str,
+    def run(self, app: str, scheme, dataset: str,
             preprocessing: str = "none", **kwargs) -> RunMetrics:
-        request = RunRequest(app, scheme, dataset, preprocessing,
-                             canonical_params(kwargs))
+        # Canonicalization folds ablation kwargs into the scheme name,
+        # so `run(..., "phi+spzip", parts=...)` and the equivalent
+        # bracket string share one request, memo entry, and cache key.
+        request = canonical_request(app, scheme, dataset, preprocessing,
+                                    **kwargs)
         hit = self._results.get(request)
         if hit is not None:
             return hit
@@ -104,8 +108,9 @@ class JobRunner(Runner):
         key = job_fingerprint(job, self.scale, self.system)
         metrics = self.cache.get(key)
         if metrics is None:
-            metrics = super().run(app, scheme, dataset, preprocessing,
-                                  **kwargs)
+            metrics = super().run(app, request.scheme, dataset,
+                                  preprocessing,
+                                  **params_to_kwargs(request.params))
             self.cache.put(key, metrics)
             status = "miss"
         else:
@@ -114,6 +119,6 @@ class JobRunner(Runner):
             self._writer().record(JobRecord(
                 job_id=job.job_id, kind="price", status=status,
                 app=app, dataset=dataset, preprocessing=preprocessing,
-                scheme=scheme, cache_key=key))
+                scheme=request.scheme, cache_key=key))
         self._results[request] = metrics
         return metrics

@@ -15,14 +15,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-from repro.jobs.model import RunRequest, canonical_params
+from repro.jobs.model import RunRequest, canonical_request
 
 
 def _requests(apps: Sequence[str], schemes: Sequence[str],
               preprocessing: str, **kwargs) -> List[RunRequest]:
     from repro.harness.experiments import _inputs_for
-    params = canonical_params(kwargs)
-    return [RunRequest(app, scheme, dataset, preprocessing, params)
+    return [canonical_request(app, scheme, dataset, preprocessing,
+                              **kwargs)
             for app in apps
             for dataset in _inputs_for(app)
             for scheme in schemes]
@@ -30,20 +30,20 @@ def _requests(apps: Sequence[str], schemes: Sequence[str],
 
 def _fig15(preprocessing: str) -> List[RunRequest]:
     from repro.harness.experiments import ALL_APPS
-    from repro.runtime.strategies import SCHEMES
-    return _requests(ALL_APPS, SCHEMES, preprocessing)
+    from repro.schemes import scheme_names
+    return _requests(ALL_APPS, scheme_names("paper"), preprocessing)
 
 
 def _fig16(preprocessing: str) -> List[RunRequest]:
     from repro.harness.experiments import GRAPH_APPS
-    from repro.runtime.strategies import SCHEMES
-    return _requests(GRAPH_APPS, SCHEMES, preprocessing)
+    from repro.schemes import scheme_names
+    return _requests(GRAPH_APPS, scheme_names("paper"), preprocessing)
 
 
 def _fig07(preprocessing: str) -> List[RunRequest]:
-    from repro.runtime.strategies import SCHEMES
+    from repro.schemes import scheme_names
     return [RunRequest("bfs", scheme, "ukl", preprocessing)
-            for scheme in SCHEMES]
+            for scheme in scheme_names("paper")]
 
 
 def _fig18() -> List[RunRequest]:

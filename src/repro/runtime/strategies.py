@@ -1,331 +1,56 @@
-"""Execution strategies: Push, Update Batching, PHI — each +- SpZip.
+"""Execution strategies — compatibility shim over :mod:`repro.schemes`.
 
-Every strategy converts the shared iteration profiles
-(:mod:`repro.runtime.traffic`) into per-class off-chip traffic and core
-work, then the bottleneck timing model prices the result.  SpZip variants
-follow the paper's Sec IV configuration:
-
-* **Push+SpZip** compresses the adjacency matrix only ("for Push, we
-  compress the adjacency matrix, but not vertex data");
-* **UB+SpZip / PHI+SpZip** compress adjacency, update bins, and vertex
-  data (destination data compressed after each bin's accumulation);
-* compression ablations (Fig 19) enable those parts one at a time, and
-  the decoupled-fetching-only variant (Fig 20) takes SpZip's offload
-  without any compression.
-
-The CMH schemes (Fig 22) model the VSC+BDI compressed LLC and LCP
-compressed memory instead of SpZip.
+The scheme identities, parse grammar, per-strategy cost models, and the
+pricing loop all live in :mod:`repro.schemes` now; this module keeps the
+historical import surface (``SCHEMES``, ``simulate_scheme``,
+``cmh_ratios``, ...) for runtime-layer callers.  The constants are
+derived from the registry, so registering a new scheme family shows up
+here without edits.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable
 
-import numpy as np
-
-from repro.compression import bdi_line_size
-from repro.graph.idspace import expand_ids
-from repro.memory.address import LINE_BYTES
-from repro.memory.compressed import LCP_SLOT_SIZES, PAGE_BYTES
-from repro.runtime.traffic import (
-    IterationProfile,
-    ModelConfig,
-    lru_scatter_replay,
-    gather_rows,
-)
-from repro.runtime.workload import Workload
-from repro.sim.metrics import RunMetrics, merge_traffic
-from repro.sim.timing import SCHEME_COSTS, PhaseWork, phase_cycles
+# Submodule imports, not the package __init__: this module is reached
+# while ``repro.schemes`` may still be mid-import (schemes.costs ->
+# sim.timing -> sim.runner -> runtime.traffic -> runtime -> here).
+from repro.schemes.pricing import cmh_ratios, simulate_scheme, simulate_spec
+from repro.schemes.registry import scheme_names
+from repro.schemes.spec import ALL_PARTS, SchemeSpec, UnknownSchemeError
 
 #: All scheme names, in the paper's Fig 15 bar order.
-SCHEMES = ("push", "push+spzip", "ub", "ub+spzip", "phi", "phi+spzip")
-CMH_SCHEMES = ("push+cmh", "ub+cmh")
+SCHEMES = scheme_names("paper")
+CMH_SCHEMES = scheme_names("cmh")
 #: Extension beyond the paper's evaluation: the Pull (destination-
 #: stationary) style of Sec II-C, with direction-optimized fallback to
 #: Push on sparse frontiers.
-EXTRA_SCHEMES = ("pull", "pull+spzip")
+EXTRA_SCHEMES = scheme_names("extensions")
 
-#: SpZip compression parts for the Fig 19 ablation.
-ALL_PARTS = frozenset({"adjacency", "updates", "vertex"})
-
-
-def simulate_scheme(workload: Workload, profiles: List[IterationProfile],
-                    scheme: str, cfg: ModelConfig,
-                    parts: Optional[frozenset] = None,
-                    decoupled_only: bool = False,
-                    dataset: str = "?",
-                    preprocessing: str = "?") -> RunMetrics:
-    """Cost one (scheme, workload) combination.
-
-    ``parts`` restricts which structures SpZip compresses (Fig 19);
-    ``decoupled_only`` keeps SpZip's offload but disables compression
-    entirely (Fig 20).
-    """
-    base = scheme.split("+")[0]
-    spzip = scheme.endswith("+spzip")
-    if base not in ("push", "ub", "phi", "pull"):
-        raise KeyError(f"unknown scheme {scheme!r}")
-    if scheme.endswith("+cmh"):
-        return _simulate_cmh(workload, profiles, base, cfg, dataset,
-                             preprocessing)
-    if parts is None:
-        parts = frozenset({"adjacency"}) if base in ("push", "pull") \
-            else ALL_PARTS
-    if not spzip:
-        parts = frozenset()
-    if decoupled_only:
-        parts = frozenset()
-    costs = SCHEME_COSTS[f"{base}-spzip" if spzip else base]
-
-    traffic_parts: List[Dict[str, float]] = []
-    work = PhaseWork()
-    for p in profiles:
-        t, w = _iteration_cost(workload, p, base, spzip, parts, cfg)
-        traffic_parts.append({cls: v * p.weight for cls, v in t.items()})
-        # Instruction work stretches by the work-stealing imbalance of
-        # this iteration's active set (Sec III-D).  Miss stalls do not:
-        # while one core sits in a long-latency chunk, the others steal
-        # around it, so stalls pipeline across the chunk population.
-        # Traffic is unaffected by scheduling.
-        stretch = p.weight * p.load_imbalance
-        w_scaled = PhaseWork(
-            edges=w.edges * stretch,
-            vertices=w.vertices * stretch,
-            updates=w.updates * stretch,
-            dest_misses=w.dest_misses * p.weight,
-            seq_bytes=w.seq_bytes * p.weight,
-            rand_bytes=w.rand_bytes * p.weight,
-        )
-        work.add(w_scaled)
-
-    traffic = merge_traffic(traffic_parts)
-    cycles, compute, memory = phase_cycles(work, costs, cfg.system)
-    name = scheme if not decoupled_only else f"{scheme}+decoupled-only"
-    return RunMetrics(app=workload.app, scheme=name, dataset=dataset,
-                      preprocessing=preprocessing, cycles=cycles,
-                      compute_cycles=compute, memory_cycles=memory,
-                      traffic=traffic)
-
-
-def graph_dst_bytes(p: IterationProfile, workload: Workload) -> int:
-    """Line-granular bytes of one sequential destination-array write."""
-    nbytes = workload.graph.num_vertices * workload.dst_value_bytes
-    return -(-nbytes // LINE_BYTES) * LINE_BYTES
-
-
-def _iteration_cost(workload: Workload, p: IterationProfile, base: str,
-                    spzip: bool, parts: frozenset, cfg: ModelConfig):
-    """(traffic by class, PhaseWork) for one iteration, unweighted."""
-    compress_adj = "adjacency" in parts
-    compress_upd = "updates" in parts
-    compress_vtx = "vertex" in parts
-    all_active = not workload.frontier_based
-
-    adjacency = float(p.offsets_bytes)
-    adjacency += p.neigh_bytes_compressed if compress_adj else p.neigh_bytes
-    adjacency += (p.edge_value_bytes_compressed if compress_adj
-                  else p.edge_value_bytes)
-
-    source = float(p.src_bytes_compressed if compress_vtx else p.src_bytes)
-
-    updates = float(p.frontier_bytes_compressed if compress_upd
-                    else p.frontier_bytes)
-
-    work = PhaseWork(edges=p.num_edges, vertices=p.num_sources)
-
-    if base == "push":
-        dest = float(p.push_dest_read_bytes + p.push_dest_write_bytes)
-        work.dest_misses = p.push_dest_misses
-        work.rand_bytes += dest + p.offsets_bytes * (0 if all_active else 1)
-        work.seq_bytes += (adjacency + source + updates
-                           - (0 if all_active else p.offsets_bytes))
-    elif base == "pull":
-        if all_active and p.pull_adj_bytes:
-            # Destination-stationary: walk incoming edges, gather source
-            # values (scattered reads, no atomics), write destinations
-            # sequentially once.
-            adjacency = float(p.offsets_bytes)
-            adjacency += (p.pull_adj_bytes_compressed if compress_adj
-                          else p.pull_adj_bytes)
-            adjacency += (p.edge_value_bytes_compressed if compress_adj
-                          else p.edge_value_bytes)
-            source = float(p.pull_gather_read_bytes)
-            vertex_out = graph_dst_bytes(p, workload)
-            dest = float(vertex_out)
-            work.dest_misses = p.pull_gather_misses
-            work.rand_bytes += source
-            work.seq_bytes += adjacency + dest + updates
-        else:
-            # Direction-optimized runtimes fall back to Push on sparse
-            # frontiers (pulling would scan every vertex's in-edges).
-            dest = float(p.push_dest_read_bytes + p.push_dest_write_bytes)
-            work.dest_misses = p.push_dest_misses
-            work.rand_bytes += dest + p.offsets_bytes
-            work.seq_bytes += (adjacency + source + updates
-                               - p.offsets_bytes)
-    elif base == "ub":
-        if compress_upd:
-            # The SpZip compressor's bin-append writes whole compressed
-            # chunks (no read-for-ownership): one write + one read back.
-            updates += 2.0 * p.update_bytes_compressed
-        else:
-            # Software binning uses ordinary stores, which RFO the bin
-            # line before writing: write costs 2x, plus the read back.
-            updates += 3.0 * p.update_bytes
-        dest = float(p.ub_dest_bytes_compressed if compress_vtx
-                     else p.ub_dest_bytes)
-        work.updates = p.num_edges  # accumulation applies every update
-        work.seq_bytes += adjacency + source + updates + dest
-    else:  # phi
-        upd_bytes = (p.phi_update_bytes_compressed if compress_upd
-                     else p.phi_update_bytes)
-        updates += float(upd_bytes)
-        dest = float(p.ub_dest_bytes_compressed if compress_vtx
-                     else p.ub_dest_bytes)
-        work.updates = p.phi_spilled_updates
-        work.seq_bytes += adjacency + source + updates + dest
-
-    return ({"adjacency": adjacency, "source_vertex": source,
-             "destination_vertex": float(dest), "updates": updates},
-            work)
-
-
-# --------------------------------------------------------------------------
-# Compressed memory hierarchy baseline (Fig 22)
-# --------------------------------------------------------------------------
-
-def _bdi_ratio(data: bytes) -> float:
-    """Average BDI compression ratio over 64-byte lines of ``data``."""
-    if not data:
-        return 1.0
-    total = 0
-    lines = 0
-    for start in range(0, len(data) - LINE_BYTES + 1, LINE_BYTES):
-        total += bdi_line_size(data[start:start + LINE_BYTES])
-        lines += 1
-    if lines == 0:
-        return 1.0
-    return (lines * LINE_BYTES) / total
-
-
-def _lcp_fetch_ratio(data: bytes) -> float:
-    """Mean LCP traffic reduction: per 4 KB page, every line is stored at
-    the smallest uniform slot that fits the page's *worst* line."""
-    if not data:
-        return 1.0
-    ratios = []
-    for page_start in range(0, len(data), PAGE_BYTES):
-        page = data[page_start:page_start + PAGE_BYTES]
-        worst = 0
-        for start in range(0, len(page) - LINE_BYTES + 1, LINE_BYTES):
-            worst = max(worst, bdi_line_size(page[start:start
-                                                  + LINE_BYTES]))
-        slot = LINE_BYTES
-        for candidate in LCP_SLOT_SIZES:
-            if worst <= candidate:
-                slot = candidate
-                break
-        ratios.append(LINE_BYTES / slot)
-    return float(np.mean(ratios)) if ratios else 1.0
-
-
-#: Per-(graph, scale) memo: the BDI/LCP sweeps walk every line in Python.
-_CMH_CACHE: Dict[tuple, Dict[str, float]] = {}
-
-
-def cmh_ratios(workload: Workload, cfg: ModelConfig) -> Dict[str, float]:
-    """Measured BDI/LCP ratios of the workload's actual arrays."""
-    graph = workload.graph
-    key = (id(graph), workload.app, cfg.id_scale)
-    if key in _CMH_CACHE:
-        return _CMH_CACHE[key]
-    adj_bytes = expand_ids(graph.neighbors, cfg.id_scale).astype(
-        np.uint32).tobytes()
-    if workload.dst_values is not None and workload.dst_values.size:
-        dst_bytes = np.ascontiguousarray(workload.dst_values).tobytes()
-    else:
-        dst_bytes = b""
-    ratios = {
-        "adj_lcp": _lcp_fetch_ratio(adj_bytes),
-        "dst_lcp": _lcp_fetch_ratio(dst_bytes),
-        "dst_bdi": _bdi_ratio(dst_bytes),
-    }
-    _CMH_CACHE[key] = ratios
-    return ratios
-
-
-def _simulate_cmh(workload: Workload, profiles: List[IterationProfile],
-                  base: str, cfg: ModelConfig, dataset: str,
-                  preprocessing: str) -> RunMetrics:
-    """Push/UB on the VSC+BDI LLC + LCP memory system (Sec V-D)."""
-    ratios = cmh_ratios(workload, cfg)
-    costs = SCHEME_COSTS[base]
-    # Decompression and LCP metadata lookups sit on the critical path of
-    # every miss (Sec V-D: "these systems are not decoupled ...
-    # compression hurts access latency").
-    from dataclasses import replace
-    costs = replace(costs, stall_per_miss=costs.stall_per_miss + 40.0)
-    # VSC's extra residency for scattered read-modify-write data is
-    # modelled as nil: every update changes the line's compressed size,
-    # forcing repacks that erode the capacity win, and at model scale the
-    # per-input LLC sizing sits at the residency knee where any capacity
-    # delta would be wildly amplified (a scale artifact, not a mechanism
-    # — see DESIGN.md).  CMH's modelled benefits are LCP's read-traffic
-    # reduction, at the price of critical-path decompression.
-    capacity = cfg.llc_lines
-
-    traffic_parts: List[Dict[str, float]] = []
-    work = PhaseWork()
-    for p, it in zip(profiles, workload.iterations):
-        adjacency = (p.offsets_bytes
-                     + p.neigh_bytes / ratios["adj_lcp"]
-                     + p.edge_value_bytes)
-        source = float(p.src_bytes)
-        updates = float(p.frontier_bytes)
-        w = PhaseWork(edges=p.num_edges, vertices=p.num_sources)
-        if base == "push":
-            dsts = gather_rows(workload.graph, it.sources)
-            per_line = max(1, LINE_BYTES // workload.dst_value_bytes)
-            misses, writebacks = lru_scatter_replay(
-                dsts.astype(np.int64) // per_line, capacity)
-            # LCP shrinks fetches, but RMW writebacks change line sizes
-            # and overflow the page's uniform slots, so writes go out at
-            # full size.
-            dest = (misses * LINE_BYTES / ratios["dst_lcp"]
-                    + writebacks * LINE_BYTES)
-            w.dest_misses = misses
-            w.rand_bytes += dest
-            w.seq_bytes += adjacency + source + updates
-        else:
-            # UB under CMH: binning still RFOs its buffered stores (2x
-            # write), and only the accumulation *read* of the bins gets
-            # LCP's per-line reduction — which is small, because 8-byte
-            # {dst, value} tuples rarely compress at line granularity.
-            updates += 2.0 * p.update_bytes + p.update_bytes / 1.1
-            dest = (p.ub_dest_bytes / 2) / ratios["dst_lcp"] \
-                + (p.ub_dest_bytes / 2)
-            w.updates = p.num_edges
-            w.seq_bytes += adjacency + source + updates + dest
-        traffic_parts.append({
-            "adjacency": adjacency * p.weight,
-            "source_vertex": source * p.weight,
-            "destination_vertex": float(dest) * p.weight,
-            "updates": updates * p.weight,
-        })
-        scaled = PhaseWork(**{f: getattr(w, f) * p.weight
-                              for f in ("edges", "vertices", "updates",
-                                        "dest_misses", "seq_bytes",
-                                        "rand_bytes")})
-        work.add(scaled)
-
-    traffic = merge_traffic(traffic_parts)
-    cycles, compute, memory = phase_cycles(work, costs, cfg.system)
-    return RunMetrics(app=workload.app, scheme=f"{base}+cmh",
-                      dataset=dataset, preprocessing=preprocessing,
-                      cycles=cycles, compute_cycles=compute,
-                      memory_cycles=memory, traffic=traffic,
-                      extras=ratios)
+__all__ = [
+    "ALL_PARTS",
+    "CMH_SCHEMES",
+    "EXTRA_SCHEMES",
+    "SCHEMES",
+    "SchemeSpec",
+    "UnknownSchemeError",
+    "available_schemes",
+    "cmh_ratios",
+    "graph_dst_bytes",
+    "simulate_scheme",
+    "simulate_spec",
+]
 
 
 def available_schemes() -> Iterable[str]:
     return SCHEMES + CMH_SCHEMES
+
+
+def graph_dst_bytes(p, workload) -> int:
+    """Line-granular bytes of one sequential destination-array write.
+
+    Deferred re-export: ``schemes.costs`` can still be mid-import when
+    this module loads (see the import note above).
+    """
+    from repro.schemes.costs import graph_dst_bytes as impl
+    return impl(p, workload)

@@ -1,0 +1,193 @@
+"""Price one (spec, workload) combination into :class:`RunMetrics`.
+
+:func:`simulate_spec` is the single pricing entry point: it looks up the
+spec's cost model and constants, accumulates weighted per-iteration
+traffic and work, and runs the bottleneck timing model.  The CMH overlay
+takes a separate loop because it prices against measured BDI/LCP
+compression ratios of the workload's actual arrays rather than SpZip's
+profile-side compressed byte counts.
+
+:func:`simulate_scheme` is the string-accepting wrapper (resolves
+through the registry first), kept for callers that hold scheme names.
+
+This module must not import :mod:`repro.runtime` at module scope:
+``repro.runtime.strategies`` re-exports from here, so a top-level import
+back into ``repro.runtime`` would cycle.  The two traffic helpers the
+CMH replay needs are imported lazily inside the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.compression import bdi_line_size
+from repro.graph.idspace import expand_ids
+from repro.memory.address import LINE_BYTES
+from repro.memory.compressed import LCP_SLOT_SIZES, PAGE_BYTES
+# Module-object reference, resolved at call time: on the
+# ``import repro.schemes`` path this module is imported (via
+# runtime.strategies) while schemes.costs is still mid-import.
+import repro.schemes.costs as _costs
+from repro.schemes.registry import resolve
+from repro.schemes.spec import SchemeSpec
+from repro.sim.metrics import RunMetrics, merge_traffic
+from repro.sim.timing import PhaseWork, phase_cycles
+
+
+def simulate_spec(workload, profiles, spec: SchemeSpec, cfg,
+                  dataset: str = "?",
+                  preprocessing: str = "?") -> RunMetrics:
+    """Cost one (spec, workload) combination."""
+    if spec.cmh:
+        return _simulate_cmh(workload, profiles, spec, cfg, dataset,
+                             preprocessing)
+    model = _costs.cost_model_for(spec)
+    costs = _costs.costs_for(spec)
+    parts = spec.effective_parts
+
+    traffic_parts: List[Dict[str, float]] = []
+    work = PhaseWork()
+    for p in profiles:
+        t, w = model.iteration_cost(workload, p, parts)
+        traffic_parts.append({cls: v * p.weight for cls, v in t.items()})
+        # Instruction work stretches by the work-stealing imbalance of
+        # this iteration's active set (Sec III-D).  Miss stalls do not:
+        # while one core sits in a long-latency chunk, the others steal
+        # around it, so stalls pipeline across the chunk population.
+        # Traffic is unaffected by scheduling.
+        stretch = p.weight * p.load_imbalance
+        w_scaled = PhaseWork(
+            edges=w.edges * stretch,
+            vertices=w.vertices * stretch,
+            updates=w.updates * stretch,
+            dest_misses=w.dest_misses * p.weight,
+            seq_bytes=w.seq_bytes * p.weight,
+            rand_bytes=w.rand_bytes * p.weight,
+        )
+        work.add(w_scaled)
+
+    traffic = merge_traffic(traffic_parts)
+    cycles, compute, memory = phase_cycles(work, costs, cfg.system)
+    return RunMetrics(app=workload.app, scheme=spec.display,
+                      dataset=dataset, preprocessing=preprocessing,
+                      cycles=cycles, compute_cycles=compute,
+                      memory_cycles=memory, traffic=traffic)
+
+
+def simulate_scheme(workload, profiles, scheme: Union[str, SchemeSpec],
+                    cfg, parts: Optional[frozenset] = None,
+                    decoupled_only: bool = False, dataset: str = "?",
+                    preprocessing: str = "?") -> RunMetrics:
+    """String/spec-accepting wrapper around :func:`simulate_spec`.
+
+    ``parts`` restricts which structures SpZip compresses (Fig 19);
+    ``decoupled_only`` keeps SpZip's offload but disables compression
+    entirely (Fig 20).  Unknown schemes raise
+    :class:`~repro.schemes.spec.UnknownSchemeError` naming every
+    registered scheme.
+    """
+    spec = resolve(scheme, parts=parts, decoupled_only=decoupled_only)
+    return simulate_spec(workload, profiles, spec, cfg, dataset=dataset,
+                         preprocessing=preprocessing)
+
+
+# --------------------------------------------------------------------------
+# Compressed memory hierarchy baseline (Fig 22)
+# --------------------------------------------------------------------------
+
+def _bdi_ratio(data: bytes) -> float:
+    """Average BDI compression ratio over 64-byte lines of ``data``."""
+    if not data:
+        return 1.0
+    total = 0
+    lines = 0
+    for start in range(0, len(data) - LINE_BYTES + 1, LINE_BYTES):
+        total += bdi_line_size(data[start:start + LINE_BYTES])
+        lines += 1
+    if lines == 0:
+        return 1.0
+    return (lines * LINE_BYTES) / total
+
+
+def _lcp_fetch_ratio(data: bytes) -> float:
+    """Mean LCP traffic reduction: per 4 KB page, every line is stored at
+    the smallest uniform slot that fits the page's *worst* line."""
+    if not data:
+        return 1.0
+    ratios = []
+    for page_start in range(0, len(data), PAGE_BYTES):
+        page = data[page_start:page_start + PAGE_BYTES]
+        worst = 0
+        for start in range(0, len(page) - LINE_BYTES + 1, LINE_BYTES):
+            worst = max(worst, bdi_line_size(page[start:start
+                                                  + LINE_BYTES]))
+        slot = LINE_BYTES
+        for candidate in LCP_SLOT_SIZES:
+            if worst <= candidate:
+                slot = candidate
+                break
+        ratios.append(LINE_BYTES / slot)
+    return float(np.mean(ratios)) if ratios else 1.0
+
+
+#: Per-(graph, scale) memo: the BDI/LCP sweeps walk every line in Python.
+_CMH_CACHE: Dict[tuple, Dict[str, float]] = {}
+
+
+def cmh_ratios(workload, cfg) -> Dict[str, float]:
+    """Measured BDI/LCP ratios of the workload's actual arrays."""
+    graph = workload.graph
+    key = (id(graph), workload.app, cfg.id_scale)
+    if key in _CMH_CACHE:
+        return _CMH_CACHE[key]
+    adj_bytes = expand_ids(graph.neighbors, cfg.id_scale).astype(
+        np.uint32).tobytes()
+    if workload.dst_values is not None and workload.dst_values.size:
+        dst_bytes = np.ascontiguousarray(workload.dst_values).tobytes()
+    else:
+        dst_bytes = b""
+    ratios = {
+        "adj_lcp": _lcp_fetch_ratio(adj_bytes),
+        "dst_lcp": _lcp_fetch_ratio(dst_bytes),
+        "dst_bdi": _bdi_ratio(dst_bytes),
+    }
+    _CMH_CACHE[key] = ratios
+    return ratios
+
+
+def _simulate_cmh(workload, profiles, spec: SchemeSpec, cfg,
+                  dataset: str, preprocessing: str) -> RunMetrics:
+    """Push/UB on the VSC+BDI LLC + LCP memory system (Sec V-D)."""
+    ratios = cmh_ratios(workload, cfg)
+    model = _costs.cost_model_for(spec)
+    costs = _costs.costs_for(spec)
+    # VSC's extra residency for scattered read-modify-write data is
+    # modelled as nil: every update changes the line's compressed size,
+    # forcing repacks that erode the capacity win, and at model scale the
+    # per-input LLC sizing sits at the residency knee where any capacity
+    # delta would be wildly amplified (a scale artifact, not a mechanism
+    # — see DESIGN.md).  CMH's modelled benefits are LCP's read-traffic
+    # reduction, at the price of critical-path decompression.
+    capacity = cfg.llc_lines
+
+    traffic_parts: List[Dict[str, float]] = []
+    work = PhaseWork()
+    for p, it in zip(profiles, workload.iterations):
+        t, w = model.cmh_iteration_cost(workload, p, it, ratios,
+                                        capacity)
+        traffic_parts.append({cls: v * p.weight for cls, v in t.items()})
+        scaled = PhaseWork(**{f: getattr(w, f) * p.weight
+                              for f in ("edges", "vertices", "updates",
+                                        "dest_misses", "seq_bytes",
+                                        "rand_bytes")})
+        work.add(scaled)
+
+    traffic = merge_traffic(traffic_parts)
+    cycles, compute, memory = phase_cycles(work, costs, cfg.system)
+    return RunMetrics(app=workload.app, scheme=spec.display,
+                      dataset=dataset, preprocessing=preprocessing,
+                      cycles=cycles, compute_cycles=compute,
+                      memory_cycles=memory, traffic=traffic,
+                      extras=ratios)

@@ -11,7 +11,6 @@ from repro.sim.sweeps import bandwidth_sweep, core_sweep, llc_sweep
 from repro.sim.timing import (
     MISS_LATENCY,
     RANDOM_BW_DERATE,
-    SCHEME_COSTS,
     PhaseWork,
     SchemeCosts,
     effective_bytes_per_cycle,
@@ -26,7 +25,6 @@ __all__ = [
     "Runner",
     "bandwidth_sweep",
     "core_sweep",
-    "SCHEME_COSTS",
     "SchemeCosts",
     "TRAFFIC_CLASSES",
     "effective_bytes_per_cycle",

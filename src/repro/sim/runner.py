@@ -99,23 +99,44 @@ class Runner:
 
     # -- simulation -------------------------------------------------------------
 
-    def run(self, app: str, scheme: str, dataset: str,
+    def run(self, app: str, scheme, dataset: str,
             preprocessing: str = "none", **kwargs) -> RunMetrics:
-        """Simulate one configuration; kwargs feed ablations (parts,
-        decoupled_only)."""
-        from repro.runtime.strategies import simulate_scheme
+        """Simulate one configuration.
+
+        ``scheme`` is a name (including ablation brackets, e.g.
+        ``phi+spzip[parts=adjacency]``) or a
+        :class:`~repro.schemes.SchemeSpec`; kwargs feed the legacy
+        ablation knobs (``parts``, ``decoupled_only``).
+        """
+        from repro.schemes import resolve, simulate_spec
+        spec = resolve(scheme, **kwargs)
         workload = self.workload(app, dataset, preprocessing)
         profiles = self.profiles(app, dataset, preprocessing)
         with PERF.timer("runner.price"):
-            return simulate_scheme(workload, profiles, scheme,
-                                   self.config_for(workload),
-                                   dataset=dataset,
-                                   preprocessing=preprocessing,
-                                   **kwargs)
+            return simulate_spec(workload, profiles, spec,
+                                 self.config_for(workload),
+                                 dataset=dataset,
+                                 preprocessing=preprocessing)
 
     def run_all_schemes(self, app: str, dataset: str,
                         preprocessing: str = "none",
                         schemes=None) -> Dict[str, RunMetrics]:
-        from repro.runtime.strategies import SCHEMES
-        return {scheme: self.run(app, scheme, dataset, preprocessing)
-                for scheme in (schemes or SCHEMES)}
+        """Run one app against a set of schemes.
+
+        ``schemes`` is a registry group name (``"paper"``, ``"cmh"``,
+        ``"extensions"``, ``"all"``), an iterable of scheme
+        names/specs, or ``None`` for the paper's six schemes.  Keys of
+        the result are the scheme names as given (canonical form for
+        specs).
+        """
+        from repro.schemes import SchemeSpec, scheme_names
+        if schemes is None:
+            schemes = scheme_names("paper")
+        elif isinstance(schemes, str):
+            schemes = scheme_names(schemes)
+        out: Dict[str, RunMetrics] = {}
+        for scheme in schemes:
+            key = scheme.canonical() if isinstance(scheme, SchemeSpec) \
+                else str(scheme)
+            out[key] = self.run(app, scheme, dataset, preprocessing)
+        return out

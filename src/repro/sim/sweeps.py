@@ -22,10 +22,10 @@ from repro.sim.runner import Runner
 
 
 def _sim_tools():
-    # Imported lazily: repro.runtime pulls repro.sim.metrics, so a
+    # Imported lazily: repro.schemes pulls repro.sim.timing, so a
     # module-level import here would be circular via repro.sim.__init__.
-    from repro.runtime.strategies import simulate_scheme
     from repro.runtime.traffic import ModelConfig, profile_workload
+    from repro.schemes import simulate_scheme
     return simulate_scheme, ModelConfig, profile_workload
 
 

@@ -11,24 +11,15 @@ destination data.  A phase's runtime is the slower of:
 * the memory system: off-chip bytes divided by the achievable bandwidth,
   de-rated when traffic is dominated by scattered (row-miss) accesses.
 
-Per-scheme cost constants live in :data:`SCHEME_COSTS`; they encode the
-mechanisms the paper describes rather than fitted curves:
-
-* software Push pays traversal instructions per edge and a large exposed
-  stall per destination miss, because atomics cap memory-level
-  parallelism;
-* SpZip variants pay only dequeue-and-update work, and decoupled
-  fetch/prefetch hides nearly all miss latency (Sec III-B);
-* UB pays binning arithmetic but its writes are streaming, so stalls are
-  small; its accumulation scatters hit the cache by construction;
-* PHI offloads update application to the cache hierarchy, so cores only
-  compute-and-push.
+Per-scheme cost constants live in
+:data:`repro.schemes.costs.SCHEME_COSTS`, keyed by scheme spec; this
+module holds only the generic machinery (cost dataclass, work
+aggregate, bandwidth derate, and the bottleneck combiner).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.config import SystemConfig
 
@@ -57,46 +48,6 @@ class SchemeCosts:
     #: thrashing); decoupled engines issue deep request streams the
     #: FR-FCFS scheduler can reorder for row hits and bank parallelism.
     random_derate: float = RANDOM_BW_DERATE
-
-
-#: Mechanism-derived constants (see module docstring).
-SCHEME_COSTS: Dict[str, SchemeCosts] = {
-    # Software Push: traversal (~8 ops/edge) plus a contended atomic RMW
-    # (~14 cycles); the atomic's fence serializes destination misses, so
-    # a miss exposes its full loaded latency plus queueing on hot lines.
-    "push": SchemeCosts(cycles_per_edge=20.0, cycles_per_vertex=12.0,
-                        stall_per_miss=215.0),
-    # Push+SpZip: the fetcher walks the structure and prefetches
-    # destinations into the L2, but the atomics stay on the core
-    # (Sec II-C) and now mostly hit the L2.
-    "push-spzip": SchemeCosts(cycles_per_edge=14.0, cycles_per_vertex=3.0,
-                              stall_per_miss=10.0, random_derate=0.80),
-    # UB: binning arithmetic + buffered sequential writes (binning), then
-    # cache-resident scatter in accumulation -- no atomics, few stalls.
-    "ub": SchemeCosts(cycles_per_edge=8.0, cycles_per_vertex=8.0,
-                      stall_per_miss=8.0, cycles_per_update=6.0),
-    # UB+SpZip: fetcher feeds the binning loop, compressor does the
-    # binning writes; accumulation dequeues decompressed updates.
-    "ub-spzip": SchemeCosts(cycles_per_edge=3.0, cycles_per_vertex=3.0,
-                            stall_per_miss=2.0, cycles_per_update=3.0,
-                            random_derate=0.80),
-    # PHI: cores just compute and push updates into the hierarchy.
-    "phi": SchemeCosts(cycles_per_edge=4.0, cycles_per_vertex=6.0,
-                       stall_per_miss=4.0, cycles_per_update=3.0),
-    # PHI+SpZip: traversal offloaded too.
-    "phi-spzip": SchemeCosts(cycles_per_edge=2.0, cycles_per_vertex=2.5,
-                             stall_per_miss=1.0, cycles_per_update=2.0,
-                             random_derate=0.80),
-    # Pull (extension): gather loads instead of atomic scatters -- no
-    # fences, so OOO cores overlap gather misses well; traversal work
-    # like Push's minus the atomic.
-    "pull": SchemeCosts(cycles_per_edge=10.0, cycles_per_vertex=12.0,
-                        stall_per_miss=40.0),
-    # Pull+SpZip: the fetcher walks in-edges and prefetches/queues the
-    # gathered values, leaving a plain add on the core.
-    "pull-spzip": SchemeCosts(cycles_per_edge=3.0, cycles_per_vertex=3.0,
-                              stall_per_miss=4.0, random_derate=0.80),
-}
 
 
 @dataclass

@@ -59,6 +59,40 @@ class TestCommands:
         assert "speedup vs push" in out
         assert "traffic by class" in out
 
+    def test_simulate_bracket_scheme(self, capsys):
+        assert main(["simulate", "--app", "dc", "--scheme",
+                     "phi+spzip[parts=adjacency]", "--dataset", "arb",
+                     "--scale", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme=phi+spzip" in out
+
+    def test_simulate_rejects_unknown_scheme(self, capsys):
+        assert main(["simulate", "--app", "dc", "--scheme",
+                     "push+bogus", "--dataset", "arb",
+                     "--scale", "65536"]) == 2
+        err = capsys.readouterr().err
+        assert "registered schemes" in err
+        assert "phi+spzip" in err
+
+    def test_simulate_rejects_malformed_scheme(self, capsys):
+        assert main(["simulate", "--app", "dc", "--scheme",
+                     "phi+spzip[turbo]", "--dataset", "arb",
+                     "--scale", "65536"]) == 2
+
+    def test_schemes_lists_registry(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "total: 10 schemes" in out
+        assert "phi+spzip" in out
+        assert "pull+spzip" in out
+        assert "groups: all, paper, cmh, extensions" in out
+
+    def test_schemes_group_filter(self, capsys):
+        assert main(["schemes", "--group", "cmh"]) == 0
+        out = capsys.readouterr().out
+        assert "total: 2 schemes" in out
+        assert main(["schemes", "--group", "nope"]) == 2
+
 
 class TestReport:
     def test_report_selected_experiments(self, tmp_path, capsys):

@@ -326,9 +326,16 @@ class TestPlans:
     def test_profile_only_experiments_have_empty_plans(self):
         assert experiment_requests(["table1", "fig21", "sorting"]) == []
 
-    def test_fig19_plan_includes_parts_params(self):
+    def test_fig19_plan_folds_parts_into_scheme(self):
         requests = experiment_requests(["fig19"])
-        parted = [r for r in requests if r.params]
+        parted = [r for r in requests if "[parts=" in r.scheme]
         assert parted
-        assert all(name == "parts" for r in parted
-                   for name, _ in r.params)
+        # Ablations are scheme identities now, not side-channel params.
+        assert all(not r.params for r in requests)
+        assert any(r.scheme == "phi+spzip[parts=adjacency]"
+                   for r in parted)
+
+    def test_fig20_plan_folds_decoupled_into_scheme(self):
+        requests = experiment_requests(["fig20"])
+        assert any(r.scheme == "phi+spzip[decoupled]" for r in requests)
+        assert all(not r.params for r in requests)

@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.schemes import SCHEME_COSTS
 from repro.sim import Runner
 from repro.sim.timing import (
-    SCHEME_COSTS,
     PhaseWork,
     SchemeCosts,
     effective_bytes_per_cycle,
@@ -42,14 +42,14 @@ class TestTimingModel:
         assert total == compute > memory
 
     def test_all_schemes_have_costs(self):
-        for scheme in ["push", "push-spzip", "ub", "ub-spzip", "phi",
-                       "phi-spzip"]:
-            assert scheme in SCHEME_COSTS
+        for base in ["push", "ub", "phi", "pull"]:
+            assert (base, None) in SCHEME_COSTS
+            assert (base, "spzip") in SCHEME_COSTS
 
     def test_spzip_schemes_cost_less_per_edge(self):
         for base in ["push", "ub", "phi"]:
-            assert SCHEME_COSTS[f"{base}-spzip"].cycles_per_edge < \
-                SCHEME_COSTS[base].cycles_per_edge
+            assert SCHEME_COSTS[(base, "spzip")].cycles_per_edge < \
+                SCHEME_COSTS[(base, None)].cycles_per_edge
 
 
 class TestStrategyInvariants:
