@@ -14,13 +14,21 @@ line) in two regimes:
   walk, so the expectation is parity (~1x), not a win.
 
 Every kernel result is checked against the scalar reference before
-timings are recorded in ``BENCH_pr2.json``.  Exits nonzero if any
-kernel diverges or the binned Push-scatter speedup falls below the 3x
-floor this PR promises.
+timings are recorded in ``BENCH_pr4.json``.  Exits nonzero if any
+kernel diverges, the binned Push-scatter speedup falls below the 3x
+floor, or active tracing costs more than
+:data:`TRACING_OVERHEAD_CEILING` on the span-per-stream replay run.
+
+The section names (``push_scatter_binned`` ...) match the committed
+``BENCH_pr2.json`` baseline, so the two diff cleanly::
+
+    PYTHONPATH=src python -m repro perf diff BENCH_pr2.json \
+        --against BENCH_pr4.json
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/perf_smoke.py [--out BENCH_pr2.json]
+    PYTHONPATH=src python benchmarks/perf_smoke.py \
+        [--out BENCH_pr4.json] [--trace TRACE.jsonl]
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import time
 import numpy as np
 
 from repro.memory import FastLruCache
+from repro.obs import TRACER, summarize_spans
 from repro.runtime.traffic import (
     _lru_scatter,
     _phi_coalesce,
@@ -44,6 +53,10 @@ from repro.runtime.traffic import (
 #: Minimum acceptable speedup for the binned Push destination-scatter
 #: replay (the profiling hot path).
 SCATTER_SPEEDUP_FLOOR = 3.0
+
+#: Maximum acceptable fractional slowdown of a span-per-stream replay
+#: run with the tracer recording vs. inactive (5%).
+TRACING_OVERHEAD_CEILING = 0.05
 
 #: Destinations per bin: the default model config's LLC budget at 4-byte
 #: values (SystemConfig().scaled(DEFAULT_SCALE) gives a 32 KiB model
@@ -159,6 +172,42 @@ def bench_access_many(streams, capacity):
     }
 
 
+def bench_tracing_overhead(streams, capacity, repeats=5):
+    """Cost of recording one span per stream replay, on vs. off.
+
+    The workload (binned scatter replays) matches the profiling hot
+    path; the span density (one ``bench.scatter`` span per stream) is
+    far above what the instrumented production paths emit per unit of
+    work, so staying under the ceiling here bounds them too.
+    """
+    def run():
+        out = 0
+        for i, lines in enumerate(streams):
+            with TRACER.span("bench.scatter", count=int(lines.size),
+                             stream=i):
+                misses, _ = lru_scatter_replay(lines, capacity)
+                out += misses
+        return out
+
+    assert not TRACER.active, "tracer must be off for the baseline leg"
+    untraced_s, untraced_out = timeit(run, repeats)
+    TRACER.start()
+    try:
+        traced_s, traced_out = timeit(run, repeats)
+        spans = len(TRACER.spans)
+    finally:
+        TRACER.stop()
+    assert untraced_out == traced_out, "tracing changed replay results"
+    return {
+        "streams": len(streams),
+        "spans_per_run": spans // repeats,
+        "untraced_s": untraced_s,
+        "traced_s": traced_s,
+        "overhead": max(0.0, traced_s / untraced_s - 1.0),
+        "ceiling": TRACING_OVERHEAD_CEILING,
+    }
+
+
 def report(label, row):
     print(f"{label:22s}: {row['scalar_s']:.3f}s scalar / "
           f"{row['batch_s']:.3f}s batch = {row['speedup']:.1f}x",
@@ -167,8 +216,11 @@ def report(label, row):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_pr2.json",
+    parser.add_argument("--out", default="BENCH_pr4.json",
                         help="where to write the results JSON")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="also write a span trace (JSONL) of the "
+                             "benchmark run")
     parser.add_argument("--bins", type=int, default=100)
     parser.add_argument("--rows-per-bin", type=int, default=400)
     args = parser.parse_args(argv)
@@ -177,23 +229,43 @@ def main(argv=None) -> int:
     unbinned = make_unbinned_stream(args.bins * args.rows_per_bin,
                                     200_000)
 
-    push = bench_scatter(binned, CAPACITY_LINES)
+    # The overhead bench runs first: its untraced leg needs the tracer
+    # off, and it starts/stops the tracer for its traced leg itself.
+    overhead = bench_tracing_overhead(binned, CAPACITY_LINES)
+    print(f"{'tracing overhead':22s}: {overhead['untraced_s']:.3f}s off "
+          f"/ {overhead['traced_s']:.3f}s on = "
+          f"{100 * overhead['overhead']:.1f}% "
+          f"({overhead['spans_per_run']} spans/run)", file=sys.stderr)
+
+    TRACER.start(trace_id="perf-smoke")
+    with TRACER.span("bench.push_scatter_binned"):
+        push = bench_scatter(binned, CAPACITY_LINES)
     report("push scatter (binned)", push)
-    push_unbinned = bench_scatter([unbinned], CAPACITY_LINES)
+    with TRACER.span("bench.push_scatter_unbinned"):
+        push_unbinned = bench_scatter([unbinned], CAPACITY_LINES)
     report("push scatter (thrash)", push_unbinned)
-    phi = bench_phi_coalesce(binned[:25], CAPACITY_LINES)
+    with TRACER.span("bench.phi_coalesce"):
+        phi = bench_phi_coalesce(binned[:25], CAPACITY_LINES)
     report("phi coalesce (binned)", phi)
-    cache = bench_access_many(binned[:25], CAPACITY_LINES)
+    with TRACER.span("bench.fast_lru_access_many"):
+        cache = bench_access_many(binned[:25], CAPACITY_LINES)
     report("access_many (binned)", cache)
+    trace_summary = summarize_spans(TRACER.spans)
+    if args.trace:
+        spans = TRACER.save(args.trace)
+        print(f"trace: {args.trace} ({spans} spans)", file=sys.stderr)
+    TRACER.stop()
 
     record = {
-        "bench": "pr2_batch_replay",
+        "bench": "pr4_traced_replay",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "push_scatter_binned": push,
         "push_scatter_unbinned": push_unbinned,
         "phi_coalesce": phi,
         "fast_lru_access_many": cache,
+        "tracing_overhead": overhead,
+        "trace_summary": trace_summary,
         "speedup_floor": SCATTER_SPEEDUP_FLOOR,
     }
     with open(args.out, "w") as handle:
@@ -201,12 +273,19 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(f"wrote {args.out}", file=sys.stderr)
 
+    status = 0
     if push["speedup"] < SCATTER_SPEEDUP_FLOOR:
         print(f"FAIL: binned push-scatter speedup "
               f"{push['speedup']:.2f}x below "
               f"{SCATTER_SPEEDUP_FLOOR}x floor", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if overhead["overhead"] > TRACING_OVERHEAD_CEILING:
+        print(f"FAIL: tracing overhead "
+              f"{100 * overhead['overhead']:.1f}% above "
+              f"{100 * TRACING_OVERHEAD_CEILING:.0f}% ceiling",
+              file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -30,6 +30,18 @@ Commands:
 ``jobs [--telemetry F] [--cache-dir DIR]``
     Summarize the latest orchestrated run's JSONL telemetry (per-job
     timing, cache hits, retries) and the result cache's state.
+
+``perf diff <baseline> --against <current> [--threshold X]``
+    Compare two timing files (bench JSON or trace JSONL) and exit
+    nonzero when any shared metric regressed past the threshold.
+
+``perf summary <trace.jsonl>``
+    Aggregate a span trace per name (calls, seconds, count).
+
+``experiment``/``simulate``/``report`` additionally accept
+``--trace PATH`` to record a hierarchical span trace of the run as
+JSONL (see docs/OBSERVABILITY.md), and ``--perf`` for the flat
+per-stage profile on stderr.
 """
 
 from __future__ import annotations
@@ -206,6 +218,35 @@ def _cmd_jobs(args) -> int:
     return status
 
 
+def _cmd_perf(args) -> int:
+    """Timing comparison and trace aggregation."""
+    from repro.obs import (
+        diff_timings,
+        load_timings,
+        render_diff,
+        render_trace_summary,
+    )
+    if args.perf_command == "summary":
+        try:
+            print(render_trace_summary(args.trace))
+        except (OSError, ValueError) as err:
+            print(f"cannot summarize {args.trace!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        return 0
+    # diff
+    try:
+        baseline = load_timings(args.baseline)
+        current = load_timings(args.against)
+        regressions, compared = diff_timings(baseline, current,
+                                             args.threshold)
+    except (OSError, ValueError) as err:
+        print(f"perf diff failed: {err}", file=sys.stderr)
+        return 2
+    print(render_diff(regressions, compared, args.threshold))
+    return 1 if regressions else 0
+
+
 def _cmd_traverse(args) -> int:
     from repro.config import SpZipConfig
     from repro.dcl import pack_range
@@ -270,6 +311,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=int, default=4096)
     experiment.add_argument("--perf", action="store_true",
                             help="print per-stage profiling to stderr")
+    experiment.add_argument("--trace", default=None, metavar="PATH",
+                            help="write a span trace (JSONL) of the run")
 
     simulate = sub.add_parser("simulate",
                               help="simulate one app/scheme/input")
@@ -280,6 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scale", type=int, default=4096)
     simulate.add_argument("--perf", action="store_true",
                           help="print per-stage profiling to stderr")
+    simulate.add_argument("--trace", default=None, metavar="PATH",
+                          help="write a span trace (JSONL) of the run")
 
     compress = sub.add_parser("compress", help="demo a codec")
     compress.add_argument("--codec", default="delta")
@@ -305,6 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="retries per failed/timed-out job group")
     report.add_argument("--perf", action="store_true",
                         help="print per-stage profiling to stderr")
+    report.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a span trace (JSONL) covering the "
+                             "whole report, including pool workers")
 
     jobs = sub.add_parser("jobs",
                           help="summarize orchestration telemetry and "
@@ -313,6 +361,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="telemetry JSONL to summarize (default: "
                            "latest under the cache dir)")
     jobs.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+
+    perf = sub.add_parser("perf",
+                          help="timing diffs and trace summaries")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    diff = perf_sub.add_parser("diff",
+                               help="compare two timing files, exit "
+                                    "nonzero on regression")
+    diff.add_argument("baseline",
+                      help="baseline bench JSON or trace JSONL")
+    diff.add_argument("--against", required=True,
+                      help="current bench JSON or trace JSONL")
+    diff.add_argument("--threshold", type=float, default=1.5,
+                      help="regression ratio (must be > 1.0)")
+    summary = perf_sub.add_parser("summary",
+                                  help="aggregate a span trace by name")
+    summary.add_argument("trace", help="trace JSONL path")
 
     traverse = sub.add_parser("traverse",
                               help="run the functional fetcher")
@@ -334,8 +398,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "traverse": _cmd_traverse,
         "report": _cmd_report,
         "jobs": _cmd_jobs,
+        "perf": _cmd_perf,
     }
-    status = handlers[args.command](args)
+    trace_path = getattr(args, "trace", None) \
+        if args.command != "perf" else None
+    if trace_path:
+        from repro.obs import TRACER
+        TRACER.start()
+    try:
+        status = handlers[args.command](args)
+    finally:
+        if trace_path:
+            count = TRACER.save(trace_path)
+            TRACER.stop()
+            print(f"trace: {trace_path} ({count} spans)",
+                  file=sys.stderr)
     if getattr(args, "perf", False):
         from repro.perf import PERF
         print(PERF.report(), file=sys.stderr)

@@ -20,6 +20,7 @@ from repro.compression.bdi import (
     bdi_decode_line,
     bdi_encode_line,
     bdi_line_size,
+    bdi_line_sizes,
 )
 from repro.compression.bpc import BPC_CHUNK, BpcCodec, bpc_chunk_encoded_sizes
 from repro.compression.chunked import ChunkedCodec, SortingCodec
@@ -56,6 +57,7 @@ __all__ = [
     "bdi_decode_line",
     "bdi_encode_line",
     "bdi_line_size",
+    "bdi_line_sizes",
     "best_of",
     "bpc_chunk_encoded_sizes",
     "check_roundtrip",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import Codec, as_unsigned_bits, from_unsigned_bits
-from repro.utils.varint import decode_varint, encode_varint
+from repro.utils.varint import decode_varint, encode_varint, varint_size
 
 _U64_MASK = (1 << 64) - 1
 
@@ -115,6 +115,8 @@ class DeltaCodec(Codec):
         deltas = np.diff(bits.view(np.int64))
         zz = _zigzag_u64(deltas)
         total = int(_varint_sizes(zz).sum())
-        total += int(_varint_sizes(np.array([_zigzag_int(int(bits[0]))],
-                                            dtype=np.uint64))[0])
+        # The first element's zigzag can need 65 bits (bit pattern with
+        # the top bit set), which overflows a uint64 array but fits the
+        # 70-bit varint — size it as a python int like the encoder does.
+        total += varint_size(_zigzag_int(int(bits[0])))
         return total

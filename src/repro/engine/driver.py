@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.dcl.queue import Entry
 from repro.engine.base import EngineStall, SpZipEngine
+from repro.obs import TRACER
 
 #: Input feed items: (value, is_marker) pairs or bare ints.
 FeedItem = object
@@ -69,6 +70,18 @@ def drive(engine: SpZipEngine,
     ``dequeues_per_cycle`` entries per cycle (modelling the core's
     dequeue-instruction throughput).
     """
+    with TRACER.span("engine.drive") as span:
+        result = _drive(engine, feeds, consume, dequeues_per_cycle,
+                        max_cycles)
+        span.set(cycles=result.cycles)
+    return result
+
+
+def _drive(engine: SpZipEngine,
+           feeds: Optional[Dict[str, Iterable[FeedItem]]],
+           consume: Iterable[str],
+           dequeues_per_cycle: int,
+           max_cycles: int) -> DriveResult:
     pending: Dict[str, List[Tuple[int, bool]]] = {
         name: _normalize_feed(items) for name, items in (feeds or {}).items()
     }

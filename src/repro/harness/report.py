@@ -12,6 +12,7 @@ import time
 from typing import Iterable, Optional
 
 from repro.harness.experiments import EXPERIMENTS, ExperimentResult
+from repro.obs import TRACER
 from repro.sim.runner import Runner
 
 
@@ -68,7 +69,9 @@ def generate_report(runner: Optional[Runner] = None,
     ]
     for experiment_id in ids:
         start = time.time()
-        result = EXPERIMENTS[experiment_id](runner)
+        with TRACER.span("harness.experiment",
+                         experiment=experiment_id):
+            result = EXPERIMENTS[experiment_id](runner)
         if progress:
             print(f"  {experiment_id}: {time.time() - start:.1f}s")
         sections.append("")

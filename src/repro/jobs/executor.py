@@ -30,6 +30,8 @@ order.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
     FutureTimeout
@@ -37,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.jobs.cache import NullCache, ResultCache
+from repro.obs import REPRO_TRACE_DIR, TRACER
 from repro.jobs.fingerprint import job_fingerprint
 from repro.jobs.model import (
     JobGraph,
@@ -72,35 +75,70 @@ def execute_group(scale: int, system: Optional[SystemConfig],
     Module-level so the process pool can pickle it by reference; also
     the serial path's implementation.  Failures are captured per job so
     one bad configuration cannot take down its group's siblings.
+
+    When the dispatching executor is tracing, pool workers see
+    :data:`~repro.obs.REPRO_TRACE_DIR` in their environment while the
+    tracer is *not* active in their process — that combination marks
+    this call as a traced worker: spans recorded here (the group span
+    and everything the runner nests under it) are appended to a
+    per-pid part file for the parent to adopt and re-parent.
     """
+    trace_dir = os.environ.get(REPRO_TRACE_DIR)
+    if trace_dir and not TRACER.active:
+        TRACER.start()
+        try:
+            return _execute_group(scale, system, profile, prices)
+        finally:
+            TRACER.flush_part(os.path.join(
+                trace_dir, f"worker-{os.getpid()}.jsonl"))
+            TRACER.stop()
+    return _execute_group(scale, system, profile, prices)
+
+
+def _execute_group(scale: int, system: Optional[SystemConfig],
+                   profile: JobSpec,
+                   prices: List[JobSpec]) -> List[JobOutcome]:
     runner = _runner_for(scale, system)
     pid = os.getpid()
     outcomes: List[JobOutcome] = []
-    # Durations use the monotonic clock: wall-clock (time.time) can jump
-    # under NTP adjustment, producing negative or wildly wrong job times.
-    start = time.monotonic()
-    try:
-        runner.profiles(profile.app, profile.dataset,
-                        profile.preprocessing)
-        outcomes.append((profile.job_id, None, time.monotonic() - start,
-                         pid, ""))
-    except Exception as exc:  # profiling failed: poisons the group
-        wall = time.monotonic() - start
-        outcomes.append((profile.job_id, None, wall, pid, repr(exc)))
-        for job in prices:
-            outcomes.append((job.job_id, None, 0.0, pid, repr(exc)))
-        return outcomes
-    for job in prices:
+    with TRACER.span("jobs.group", job_id=profile.job_id,
+                     app=profile.app, dataset=profile.dataset,
+                     preprocessing=profile.preprocessing):
+        # Durations use the monotonic clock: wall-clock (time.time) can
+        # jump under NTP adjustment, producing negative or wildly wrong
+        # job times.
         start = time.monotonic()
         try:
-            metrics = runner.run(job.app, job.scheme, job.dataset,
-                                 job.preprocessing,
-                                 **params_to_kwargs(job.params))
-            outcomes.append((job.job_id, metrics,
+            with TRACER.span("jobs.profile", job_id=profile.job_id,
+                             app=profile.app, dataset=profile.dataset,
+                             preprocessing=profile.preprocessing):
+                runner.profiles(profile.app, profile.dataset,
+                                profile.preprocessing)
+            outcomes.append((profile.job_id, None,
                              time.monotonic() - start, pid, ""))
-        except Exception as exc:
-            outcomes.append((job.job_id, None,
-                             time.monotonic() - start, pid, repr(exc)))
+        except Exception as exc:  # profiling failed: poisons the group
+            wall = time.monotonic() - start
+            outcomes.append((profile.job_id, None, wall, pid,
+                             repr(exc)))
+            for job in prices:
+                outcomes.append((job.job_id, None, 0.0, pid, repr(exc)))
+            return outcomes
+        for job in prices:
+            start = time.monotonic()
+            try:
+                with TRACER.span("jobs.price", job_id=job.job_id,
+                                 app=job.app, scheme=job.scheme,
+                                 dataset=job.dataset,
+                                 preprocessing=job.preprocessing):
+                    metrics = runner.run(job.app, job.scheme,
+                                         job.dataset, job.preprocessing,
+                                         **params_to_kwargs(job.params))
+                outcomes.append((job.job_id, metrics,
+                                 time.monotonic() - start, pid, ""))
+            except Exception as exc:
+                outcomes.append((job.job_id, None,
+                                 time.monotonic() - start, pid,
+                                 repr(exc)))
     return outcomes
 
 
@@ -136,6 +174,10 @@ class JobExecutor:
         # executor's progress channel unless the cache already reports.
         if getattr(self.cache, "on_error", None) is None:
             self.cache.on_error = self._progress
+        # Mirror telemetry records into the active trace (one coherent
+        # instrument) unless the caller wired a tracer already.
+        if self.telemetry.tracer is None:
+            self.telemetry.tracer = TRACER
 
     # -- cache bookkeeping ------------------------------------------------
 
@@ -161,6 +203,12 @@ class JobExecutor:
     def run(self, requests: List[RunRequest]
             ) -> Dict[RunRequest, RunMetrics]:
         """Execute all requests; returns results in request order."""
+        with TRACER.span("jobs.run", requests=len(requests),
+                         workers=self.jobs):
+            return self._run(requests)
+
+    def _run(self, requests: List[RunRequest]
+             ) -> Dict[RunRequest, RunMetrics]:
         graph = build_job_graph(requests)
         self.telemetry.start(self.jobs, len(graph.request_jobs),
                              getattr(self.cache, "root", None))
@@ -246,6 +294,32 @@ class JobExecutor:
 
     def _run_pool(self, pending) -> Dict[str, Tuple[JobOutcome, int]]:
         """Process-pool execution; per-group timeout, retry, fallback."""
+        # When tracing, workers flush their spans to per-pid part files
+        # under a directory advertised through the environment (which
+        # the pool's workers inherit); adopted back after the drain.
+        trace_parts: Optional[str] = None
+        prev_trace_dir = os.environ.get(REPRO_TRACE_DIR)
+        run_span_id = TRACER.current_id
+        task_parents: Dict[str, str] = {}
+        if TRACER.active:
+            trace_parts = tempfile.mkdtemp(prefix="repro-trace-")
+            os.environ[REPRO_TRACE_DIR] = trace_parts
+        try:
+            return self._run_pool_inner(pending, trace_parts,
+                                        task_parents)
+        finally:
+            if trace_parts is not None:
+                if prev_trace_dir is None:
+                    os.environ.pop(REPRO_TRACE_DIR, None)
+                else:
+                    os.environ[REPRO_TRACE_DIR] = prev_trace_dir
+                TRACER.adopt_parts(trace_parts, task_parents,
+                                   fallback_parent=run_span_id)
+                shutil.rmtree(trace_parts, ignore_errors=True)
+
+    def _run_pool_inner(self, pending, trace_parts,
+                        task_parents) -> Dict[str, Tuple[JobOutcome,
+                                                         int]]:
         outcomes: Dict[str, Tuple[JobOutcome, int]] = {}
         try:
             pool = ProcessPoolExecutor(max_workers=self.jobs)
@@ -254,12 +328,14 @@ class JobExecutor:
                            f"running {len(pending)} group(s) serially")
             return self._run_serial(pending)
         done_groups = 0
+        dispatched: Dict[str, float] = {}
         try:
             futures = {}
             for profile, prices in pending:
                 future = pool.submit(execute_group, self.scale,
                                      self.system, profile, prices)
                 futures[future] = (profile, prices, 0)
+                dispatched[profile.job_id] = time.monotonic()
             while futures:
                 future = next(iter(futures))
                 profile, prices, attempt = futures.pop(future)
@@ -300,6 +376,20 @@ class JobExecutor:
                 for outcome in group:
                     outcomes[outcome[0]] = (outcome, attempt)
                 done_groups += 1
+                if TRACER.active:
+                    # Dispatch envelope: submit -> final completion
+                    # (queue wait + all attempts).  Worker spans for
+                    # this group re-parent under it on adoption.
+                    start = dispatched.get(profile.job_id)
+                    span = TRACER.manual_span(
+                        "jobs.task",
+                        duration_s=(time.monotonic() - start)
+                        if start is not None else 0.0,
+                        start_s=start, job_id=profile.job_id,
+                        app=profile.app, dataset=profile.dataset,
+                        preprocessing=profile.preprocessing,
+                        attempts=attempt + 1)
+                    task_parents[profile.job_id] = span.span_id
                 self._progress(f"group {done_groups}/{len(pending)}: "
                                f"{profile.job_id}")
         finally:

@@ -72,7 +72,9 @@ class JobRunner(Runner):
         """One telemetry stream shared by every prefetch/run of this
         runner, so a whole report lands in a single JSONL file."""
         if self._telemetry is None:
-            self._telemetry = TelemetryWriter(path=self.telemetry_path)
+            from repro.obs import TRACER
+            self._telemetry = TelemetryWriter(path=self.telemetry_path,
+                                              tracer=TRACER)
         return self._telemetry
 
     def prefetch(self, requests: Iterable[RunRequest]) -> int:

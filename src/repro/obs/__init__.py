@@ -1,0 +1,50 @@
+"""Unified observability: hierarchical tracing spans, JSONL trace
+export/merging, and perf-baseline regression diffing.
+
+``span``   the :class:`Tracer` / :class:`Span` core and the module-level
+           :data:`TRACER` every instrumented subsystem records into
+``trace``  trace-file IO: read, merge, per-name summaries
+``diff``   ``BENCH_*.json`` / trace comparison behind ``repro perf diff``
+
+See docs/OBSERVABILITY.md for the span model and trace schema.
+"""
+
+from repro.obs.diff import (
+    Regression,
+    diff_timings,
+    load_timings,
+    perf_diff,
+    render_diff,
+)
+from repro.obs.span import (
+    REPRO_TRACE_DIR,
+    Span,
+    Tracer,
+    TRACER,
+    summarize_spans,
+)
+from repro.obs.trace import (
+    merge_traces,
+    read_trace,
+    render_trace_summary,
+    spans_by_parent,
+    trace_summary,
+)
+
+__all__ = [
+    "REPRO_TRACE_DIR",
+    "Regression",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "diff_timings",
+    "load_timings",
+    "merge_traces",
+    "perf_diff",
+    "read_trace",
+    "render_diff",
+    "render_trace_summary",
+    "spans_by_parent",
+    "summarize_spans",
+    "trace_summary",
+]

@@ -1,0 +1,87 @@
+"""Trace file IO: read, merge, and summarize JSONL span traces.
+
+A trace file is JSONL: one ``trace_start`` header line followed by one
+``span`` line per span (see :class:`repro.obs.span.Span`).  Files from
+several processes or runs can be merged; span ids embed the producing
+pid, so ids never collide across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.span import Span, summarize_spans
+
+
+def read_trace(path: str) -> Tuple[Dict[str, object], List[Span]]:
+    """Load one trace file: (header, spans).
+
+    Tolerates header-less part files (returns an empty header).
+    """
+    header: Dict[str, object] = {}
+    spans: List[Span] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            event = record.get("event")
+            if event == "trace_start":
+                header = record
+            elif event == "span":
+                spans.append(Span.from_record(record))
+    return header, spans
+
+
+def merge_traces(paths: Iterable[str],
+                 out_path: Optional[str] = None) -> List[Span]:
+    """Concatenate span streams from several trace files, time-sorted."""
+    merged: List[Span] = []
+    header: Dict[str, object] = {}
+    for path in paths:
+        file_header, spans = read_trace(path)
+        if file_header and not header:
+            header = file_header
+        merged.extend(spans)
+    merged.sort(key=lambda s: s.start_s)
+    if out_path is not None:
+        with open(out_path, "w") as handle:
+            if header:
+                handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for span in merged:
+                handle.write(span.to_json() + "\n")
+    return merged
+
+
+def trace_summary(path: str) -> Dict[str, Dict[str, float]]:
+    """Per-span-name aggregates of one trace file (perf-snapshot view)."""
+    _header, spans = read_trace(path)
+    return summarize_spans(spans)
+
+
+def render_trace_summary(path: str) -> str:
+    """Human-readable per-name table for ``python -m repro perf summary``."""
+    header, spans = read_trace(path)
+    summary = summarize_spans(spans)
+    lines = [f"trace: {path}",
+             f"spans: {len(spans)} across "
+             f"{len({s.pid for s in spans})} process(es)"
+             + (f", trace_id={header.get('trace_id')}" if header else "")]
+    if summary:
+        lines.append("name                           seconds    calls"
+                     "       count")
+        for name, stat in summary.items():
+            lines.append(f"{name:30s} {stat['seconds']:8.3f} "
+                         f"{int(stat['calls']):8d} "
+                         f"{int(stat['count']):11d}")
+    return "\n".join(lines)
+
+
+def spans_by_parent(spans: List[Span]) -> Dict[Optional[str], List[Span]]:
+    """Index spans by parent id (children in start order)."""
+    index: Dict[Optional[str], List[Span]] = {}
+    for span in sorted(spans, key=lambda s: s.start_s):
+        index.setdefault(span.parent_id, []).append(span)
+    return index

@@ -42,7 +42,7 @@ from repro.memory.batch import (
     lru_scatter_misses,
     previous_occurrence,
 )
-from repro.perf import PERF
+from repro.obs import TRACER
 from repro.runtime.workload import Iteration, Workload
 
 #: Compression chunk length (paper Sec III-C: 32 elements).
@@ -169,13 +169,14 @@ def rows_compressed_bytes(graph: CsrGraph, sources: np.ndarray,
     deg = deg[deg > 0]
     if deg.size == 0:
         return 0
-    ids = gather_rows(graph, sources)
-    expanded = expand_ids(ids, id_scale)
-    group_starts = np.concatenate(([0], np.cumsum(deg)[:-1])).astype(
-        np.int64)
-    sizes = _delta_sizes_grouped(expanded, group_starts)
-    raw = deg * 4 + 1
-    return int(np.minimum(sizes, raw).sum())
+    with TRACER.span("profile.compress", count=int(deg.sum())):
+        ids = gather_rows(graph, sources)
+        expanded = expand_ids(ids, id_scale)
+        group_starts = np.concatenate(([0], np.cumsum(deg)[:-1])).astype(
+            np.int64)
+        sizes = _delta_sizes_grouped(expanded, group_starts)
+        raw = deg * 4 + 1
+        return int(np.minimum(sizes, raw).sum())
 
 
 def chunked_ids_values_compressed(ids: np.ndarray, values: np.ndarray,
@@ -191,6 +192,15 @@ def chunked_ids_values_compressed(ids: np.ndarray, values: np.ndarray,
     n = ids.size
     if n == 0:
         return 0
+    with TRACER.span("profile.compress", count=int(n)):
+        return _chunked_ids_values_compressed(ids, values, id_scale,
+                                              sort, chunk)
+
+
+def _chunked_ids_values_compressed(ids: np.ndarray, values: np.ndarray,
+                                   id_scale: int, sort: bool,
+                                   chunk: int) -> int:
+    n = ids.size
     pad = (-n) % chunk
     ids64 = expand_ids(ids, id_scale)
     if pad:
@@ -457,6 +467,12 @@ def _ceil_lines(nbytes: float) -> int:
 def profile_iteration(workload: Workload, iteration: Iteration,
                       cfg: ModelConfig) -> IterationProfile:
     """Measure one iteration's memory quantities (see module docstring)."""
+    with TRACER.span("profile.iteration", app=workload.app):
+        return _profile_iteration(workload, iteration, cfg)
+
+
+def _profile_iteration(workload: Workload, iteration: Iteration,
+                       cfg: ModelConfig) -> IterationProfile:
     graph = workload.graph
     sources = iteration.sources
     degrees = graph.out_degrees()
@@ -512,7 +528,7 @@ def profile_iteration(workload: Workload, iteration: Iteration,
     dsts = gather_rows(graph, sources)
     per_line = max(1, LINE_BYTES // dvb)
     dst_lines = (dsts.astype(np.int64) // per_line)
-    with PERF.timer("replay.push_scatter", count=int(dst_lines.size)):
+    with TRACER.span("replay.push_scatter", count=int(dst_lines.size)):
         misses, writebacks = lru_scatter_replay(dst_lines,
                                                 cfg.llc_lines)
     push_dest_read_bytes = misses * LINE_BYTES
@@ -551,7 +567,7 @@ def profile_iteration(workload: Workload, iteration: Iteration,
                                    * min(1.0, dst_comp / dst_total_raw))
 
     # --- PHI -----------------------------------------------------------------
-    with PERF.timer("replay.phi_coalesce", count=int(dsts.size)):
+    with TRACER.span("replay.phi_coalesce", count=int(dsts.size)):
         spilled_ids, spilled_vals, spilled_lines = phi_coalesce_replay(
             dsts.astype(np.int64), upd_vals if upd_vals.size == dsts.size
             else np.empty(0), dvb, cfg.llc_lines)
@@ -581,8 +597,8 @@ def profile_iteration(workload: Workload, iteration: Iteration,
         gather_per_line = max(1, LINE_BYTES // workload.src_value_bytes)
         gather_lines = (transposed.neighbors.astype(np.int64)
                         // gather_per_line)
-        with PERF.timer("replay.pull_gather",
-                        count=int(gather_lines.size)):
+        with TRACER.span("replay.pull_gather",
+                         count=int(gather_lines.size)):
             pull_gather_misses, _wb = lru_scatter_replay(gather_lines,
                                                          cfg.llc_lines)
         pull_gather_read_bytes = pull_gather_misses * LINE_BYTES

@@ -22,10 +22,11 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.compression import bdi_line_size
+from repro.compression import bdi_line_size, bdi_line_sizes
 from repro.graph.idspace import expand_ids
 from repro.memory.address import LINE_BYTES
 from repro.memory.compressed import LCP_SLOT_SIZES, PAGE_BYTES
+from repro.obs import TRACER
 # Module-object reference, resolved at call time: on the
 # ``import repro.schemes`` path this module is imported (via
 # runtime.strategies) while schemes.costs is still mid-import.
@@ -41,8 +42,16 @@ def simulate_spec(workload, profiles, spec: SchemeSpec, cfg,
                   preprocessing: str = "?") -> RunMetrics:
     """Cost one (spec, workload) combination."""
     if spec.cmh:
-        return _simulate_cmh(workload, profiles, spec, cfg, dataset,
-                             preprocessing)
+        with TRACER.span("pricing.cmh", scheme=spec.canonical()):
+            return _simulate_cmh(workload, profiles, spec, cfg, dataset,
+                                 preprocessing)
+    with TRACER.span("pricing.price", scheme=spec.canonical()):
+        return _price_spec(workload, profiles, spec, cfg, dataset,
+                           preprocessing)
+
+
+def _price_spec(workload, profiles, spec: SchemeSpec, cfg,
+                dataset: str, preprocessing: str) -> RunMetrics:
     model = _costs.cost_model_for(spec)
     costs = _costs.costs_for(spec)
     parts = spec.effective_parts
@@ -97,32 +106,45 @@ def simulate_scheme(workload, profiles, scheme: Union[str, SchemeSpec],
 # Compressed memory hierarchy baseline (Fig 22)
 # --------------------------------------------------------------------------
 
-def _bdi_ratio(data: bytes) -> float:
-    """Average BDI compression ratio over 64-byte lines of ``data``."""
+def _pad_line(line: bytes) -> bytes:
+    """Zero-pad a trailing partial line to the full 64 bytes."""
+    return line if len(line) == LINE_BYTES \
+        else line + bytes(LINE_BYTES - len(line))
+
+
+def _bdi_ratio_scalar(data: bytes) -> float:
+    """Per-line reference for :func:`_bdi_ratio` (equivalence-tested)."""
     if not data:
         return 1.0
-    total = 0
-    lines = 0
-    for start in range(0, len(data) - LINE_BYTES + 1, LINE_BYTES):
-        total += bdi_line_size(data[start:start + LINE_BYTES])
-        lines += 1
-    if lines == 0:
+    sizes = [bdi_line_size(_pad_line(data[start:start + LINE_BYTES]))
+             for start in range(0, len(data), LINE_BYTES)]
+    return (len(sizes) * LINE_BYTES) / sum(sizes)
+
+
+def _bdi_ratio(data: bytes) -> float:
+    """Average BDI compression ratio over 64-byte lines of ``data``.
+
+    Every line counts, including a trailing partial line (zero-padded,
+    like the line-granular memory that stores it) — previously the tail
+    of a non-line-multiple buffer was silently dropped, and sub-line
+    buffers degenerated to 1.0.
+    """
+    if not data:
         return 1.0
-    return (lines * LINE_BYTES) / total
+    sizes = bdi_line_sizes(data)
+    return float(sizes.size * LINE_BYTES) / float(sizes.sum())
 
 
-def _lcp_fetch_ratio(data: bytes) -> float:
-    """Mean LCP traffic reduction: per 4 KB page, every line is stored at
-    the smallest uniform slot that fits the page's *worst* line."""
+def _lcp_fetch_ratio_scalar(data: bytes) -> float:
+    """Per-page reference for :func:`_lcp_fetch_ratio`."""
     if not data:
         return 1.0
     ratios = []
     for page_start in range(0, len(data), PAGE_BYTES):
         page = data[page_start:page_start + PAGE_BYTES]
-        worst = 0
-        for start in range(0, len(page) - LINE_BYTES + 1, LINE_BYTES):
-            worst = max(worst, bdi_line_size(page[start:start
-                                                  + LINE_BYTES]))
+        worst = max(
+            bdi_line_size(_pad_line(page[start:start + LINE_BYTES]))
+            for start in range(0, len(page), LINE_BYTES))
         slot = LINE_BYTES
         for candidate in LCP_SLOT_SIZES:
             if worst <= candidate:
@@ -132,7 +154,32 @@ def _lcp_fetch_ratio(data: bytes) -> float:
     return float(np.mean(ratios)) if ratios else 1.0
 
 
-#: Per-(graph, scale) memo: the BDI/LCP sweeps walk every line in Python.
+#: Lines per LCP page (4 KiB / 64 B).
+_LINES_PER_PAGE = PAGE_BYTES // LINE_BYTES
+
+
+def _lcp_fetch_ratio(data: bytes) -> float:
+    """Mean LCP traffic reduction: per 4 KB page, every line is stored
+    at the smallest uniform slot that fits the page's *worst* line.
+
+    Vectorized over the whole buffer (one BDI sweep + per-page max);
+    a trailing partial line is zero-padded, matching :func:`_bdi_ratio`.
+    """
+    if not data:
+        return 1.0
+    sizes = bdi_line_sizes(data)
+    pad = (-sizes.size) % _LINES_PER_PAGE
+    if pad:
+        # Missing lines of a partial final page cannot raise its worst.
+        sizes = np.concatenate([sizes, np.zeros(pad, dtype=sizes.dtype)])
+    worst = sizes.reshape(-1, _LINES_PER_PAGE).max(axis=1)
+    slots = np.full(worst.shape, LINE_BYTES, dtype=np.int64)
+    for candidate in reversed(LCP_SLOT_SIZES):
+        slots[worst <= candidate] = candidate
+    return float(np.mean(LINE_BYTES / slots))
+
+
+#: Per-(graph, scale) memo: one BDI/LCP sweep per workload's arrays.
 _CMH_CACHE: Dict[tuple, Dict[str, float]] = {}
 
 
@@ -148,11 +195,14 @@ def cmh_ratios(workload, cfg) -> Dict[str, float]:
         dst_bytes = np.ascontiguousarray(workload.dst_values).tobytes()
     else:
         dst_bytes = b""
-    ratios = {
-        "adj_lcp": _lcp_fetch_ratio(adj_bytes),
-        "dst_lcp": _lcp_fetch_ratio(dst_bytes),
-        "dst_bdi": _bdi_ratio(dst_bytes),
-    }
+    with TRACER.span("pricing.cmh_ratios", app=workload.app,
+                     count=(len(adj_bytes) + len(dst_bytes))
+                     // LINE_BYTES):
+        ratios = {
+            "adj_lcp": _lcp_fetch_ratio(adj_bytes),
+            "dst_lcp": _lcp_fetch_ratio(dst_bytes),
+            "dst_bdi": _bdi_ratio(dst_bytes),
+        }
     _CMH_CACHE[key] = ratios
     return ratios
 

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.graph.datasets import DEFAULT_SCALE, load_preprocessed
-from repro.perf import PERF
+from repro.obs import TRACER
 from repro.runtime.traffic import (
     IterationProfile,
     ModelConfig,
@@ -76,7 +76,9 @@ class Runner:
         from repro.apps import build_workload
         key = (app, dataset, preprocessing)
         if key not in self._workloads:
-            with PERF.timer("runner.build_workload"):
+            with TRACER.span("runner.build_workload", app=app,
+                             dataset=dataset,
+                             preprocessing=preprocessing):
                 if app == "sp":
                     self._workloads[key] = build_workload(
                         "sp", scale=self.scale)
@@ -92,7 +94,8 @@ class Runner:
         key = (app, dataset, preprocessing)
         if key not in self._profiles:
             workload = self.workload(app, dataset, preprocessing)
-            with PERF.timer("runner.profile"):
+            with TRACER.span("runner.profile", app=app, dataset=dataset,
+                             preprocessing=preprocessing):
                 self._profiles[key] = profile_workload(
                     workload, self.config_for(workload))
         return self._profiles[key]
@@ -110,13 +113,19 @@ class Runner:
         """
         from repro.schemes import resolve, simulate_spec
         spec = resolve(scheme, **kwargs)
-        workload = self.workload(app, dataset, preprocessing)
-        profiles = self.profiles(app, dataset, preprocessing)
-        with PERF.timer("runner.price"):
-            return simulate_spec(workload, profiles, spec,
-                                 self.config_for(workload),
-                                 dataset=dataset,
-                                 preprocessing=preprocessing)
+        # One span per (app, scheme, input) cell, tagged with the
+        # canonical SchemeSpec string — the unit the paper's sweep (and
+        # `repro perf diff`) attributes wall time to.
+        with TRACER.span("runner.cell", app=app,
+                         scheme=spec.canonical(), dataset=dataset,
+                         preprocessing=preprocessing):
+            workload = self.workload(app, dataset, preprocessing)
+            profiles = self.profiles(app, dataset, preprocessing)
+            with TRACER.span("runner.price"):
+                return simulate_spec(workload, profiles, spec,
+                                     self.config_for(workload),
+                                     dataset=dataset,
+                                     preprocessing=preprocessing)
 
     def run_all_schemes(self, app: str, dataset: str,
                         preprocessing: str = "none",

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -169,3 +171,135 @@ class TestReportOrchestration:
             self, tmp_path, capsys):
         assert main(["jobs", "--cache-dir",
                      str(tmp_path / "empty")]) == 1
+
+
+class TestPerfFlag:
+    def test_perf_prints_stage_breakdown(self, capsys):
+        assert main(["simulate", "--app", "dc", "--scheme", "phi",
+                     "--dataset", "arb", "--scale", "65536",
+                     "--perf"]) == 0
+        err = capsys.readouterr().err
+        assert "perf:" in err
+        assert "pricing.price" in err
+
+
+class TestTrace:
+    def test_simulate_trace_has_cell_and_stage_spans(self, tmp_path,
+                                                     capsys):
+        from repro.obs import read_trace
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["simulate", "--app", "dc", "--scheme", "phi",
+                     "--dataset", "arb", "--scale", "65536",
+                     "--trace", path]) == 0
+        assert "trace:" in capsys.readouterr().err
+        header, spans = read_trace(path)
+        assert header["trace_id"]
+        names = {s.name for s in spans}
+        assert {"runner.cell", "runner.price",
+                "pricing.price"} <= names
+        cell = next(s for s in spans if s.name == "runner.cell"
+                    and s.attrs.get("scheme") == "phi")
+        children = [s for s in spans if s.parent_id == cell.span_id]
+        assert children, "cell span has no children"
+
+    def test_parallel_report_trace_covers_every_cell(self, tmp_path):
+        """The acceptance trace: a --jobs 2 cold-cache report produces
+        one merged trace where every (app, scheme, dataset,
+        preprocessing) cell has a span, and worker spans hang under
+        their dispatching jobs.task span."""
+        from repro.jobs.plan import experiment_requests
+        from repro.obs import read_trace
+        path = str(tmp_path / "trace.jsonl")
+        out = tmp_path / "report.md"
+        assert main(["report", "--experiments", "fig07", "fig08",
+                     "--scale", "65536", "--jobs", "2", "--no-cache",
+                     "--out", str(out), "--trace", path]) == 0
+        header, spans = read_trace(path)
+        by_id = {s.span_id: s for s in spans}
+        # No dangling parents anywhere in the merged trace.
+        assert all(s.parent_id in by_id for s in spans if s.parent_id)
+        # Every requested cell priced, with the canonical scheme tag.
+        cells = {(s.attrs.get("app"), s.attrs.get("scheme"),
+                  s.attrs.get("dataset"), s.attrs.get("preprocessing"))
+                 for s in spans if s.name == "jobs.price"}
+        for request in experiment_requests(["fig07", "fig08"]):
+            assert (request.app, request.scheme, request.dataset,
+                    request.preprocessing) in cells
+        # Worker-side group spans re-parent under their jobs.task.
+        parent_pid = header["pid"]
+        groups = [s for s in spans if s.name == "jobs.group"]
+        assert groups
+        for group in groups:
+            parent = by_id[group.parent_id]
+            if group.pid != parent_pid:
+                assert parent.name == "jobs.task"
+                assert parent.attrs["job_id"] == \
+                    group.attrs["job_id"]
+        # Telemetry job records are mirrored into the same trace.
+        assert any(s.name == "jobs.job" for s in spans)
+        assert any(s.name == "harness.experiment" for s in spans)
+
+
+class TestPerfCommand:
+    def _bench(self, tmp_path, name, batch_s):
+        path = tmp_path / name
+        path.write_text(json.dumps(
+            {"push_scatter_binned": {"batch_s": batch_s,
+                                     "scalar_s": 0.4}}))
+        return str(path)
+
+    def test_diff_identical_exits_zero(self, tmp_path, capsys):
+        base = self._bench(tmp_path, "base.json", 0.1)
+        cur = self._bench(tmp_path, "cur.json", 0.1)
+        assert main(["perf", "diff", base, "--against", cur]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_diff_flags_injected_2x_slowdown(self, tmp_path, capsys):
+        base = self._bench(tmp_path, "base.json", 0.1)
+        cur = self._bench(tmp_path, "cur.json", 0.2)
+        assert main(["perf", "diff", base, "--against", cur]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "push_scatter_binned/batch_s" in out
+
+    def test_diff_respects_threshold(self, tmp_path):
+        base = self._bench(tmp_path, "base.json", 0.1)
+        cur = self._bench(tmp_path, "cur.json", 0.2)
+        assert main(["perf", "diff", base, "--against", cur,
+                     "--threshold", "2.5"]) == 0
+
+    def test_diff_bad_inputs_exit_two(self, tmp_path, capsys):
+        base = self._bench(tmp_path, "base.json", 0.1)
+        assert main(["perf", "diff", str(tmp_path / "missing.json"),
+                     "--against", base]) == 2
+        assert main(["perf", "diff", base, "--against", base,
+                     "--threshold", "1.0"]) == 2
+
+    def test_diff_against_trace_jsonl(self, tmp_path, capsys):
+        from repro.obs import Tracer
+        t = Tracer(perf=None)
+        t.start()
+        with t.span("stage"):
+            pass
+        trace = str(tmp_path / "trace.jsonl")
+        t.save(trace)
+        t.stop()
+        assert main(["perf", "diff", trace, "--against", trace]) == 0
+        assert "1 shared" in capsys.readouterr().out
+
+    def test_summary_renders_trace(self, tmp_path, capsys):
+        from repro.obs import Tracer
+        t = Tracer(perf=None)
+        t.start(trace_id="t-cli")
+        with t.span("stage", count=4):
+            pass
+        trace = str(tmp_path / "trace.jsonl")
+        t.save(trace)
+        t.stop()
+        assert main(["perf", "summary", trace]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "t-cli" in out
+
+    def test_summary_missing_file_exits_two(self, tmp_path):
+        assert main(["perf", "summary",
+                     str(tmp_path / "nope.jsonl")]) == 2

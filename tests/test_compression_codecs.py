@@ -1,4 +1,10 @@
-"""Unit + property tests for the compression codecs."""
+"""Unit tests for individual compression codecs.
+
+Generic round-trip/size/determinism properties live in
+``test_compression_properties.py``, swept over every registry codec
+(including chunked and sorted variants) — codec-specific behaviour
+stays here.
+"""
 
 import numpy as np
 import pytest
@@ -6,7 +12,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compression import (
-    BdiCodec,
     BpcCodec,
     ChunkedCodec,
     DeltaCodec,
@@ -17,12 +22,6 @@ from repro.compression import (
     bpc_chunk_encoded_sizes,
     from_unsigned_bits,
 )
-
-ALL_CODECS = [RawCodec, DeltaCodec, BpcCodec, RleCodec, BdiCodec]
-
-uint32_arrays = st.lists(
-    st.integers(0, 2 ** 32 - 1), min_size=0, max_size=200
-).map(lambda xs: np.asarray(xs, dtype=np.uint32))
 
 uint64_arrays = st.lists(
     st.integers(0, 2 ** 64 - 1), min_size=0, max_size=100
@@ -40,60 +39,6 @@ class TestBitViewHelpers:
     def test_unsupported_dtype_rejected(self):
         with pytest.raises(TypeError):
             as_unsigned_bits(np.array(["a"], dtype=object))
-
-
-@pytest.mark.parametrize("codec_cls", ALL_CODECS)
-class TestRoundtripAllCodecs:
-    def test_empty(self, codec_cls):
-        codec = codec_cls()
-        x = np.empty(0, dtype=np.uint32)
-        assert np.array_equal(codec.decode(codec.encode(x), 0, np.uint32), x)
-
-    def test_single_element(self, codec_cls):
-        codec = codec_cls()
-        x = np.array([12345], dtype=np.uint32)
-        out = codec.decode(codec.encode(x), 1, np.uint32)
-        assert np.array_equal(out, x)
-
-    def test_constant_stream(self, codec_cls):
-        codec = codec_cls()
-        x = np.full(100, 7, dtype=np.uint32)
-        out = codec.decode(codec.encode(x), 100, np.uint32)
-        assert np.array_equal(out, x)
-
-    def test_sorted_ids(self, codec_cls):
-        codec = codec_cls()
-        rng = np.random.default_rng(1)
-        x = np.sort(rng.integers(0, 10 ** 6, 300)).astype(np.uint32)
-        out = codec.decode(codec.encode(x), x.size, np.uint32)
-        assert np.array_equal(out, x)
-
-    def test_random_floats(self, codec_cls):
-        codec = codec_cls()
-        rng = np.random.default_rng(2)
-        x = rng.standard_normal(64).astype(np.float64)
-        out = codec.decode(codec.encode(x), x.size, np.float64)
-        assert np.array_equal(out, x)
-
-    def test_extreme_uint64(self, codec_cls):
-        codec = codec_cls()
-        x = np.array([0, 2 ** 64 - 1, 1, 2 ** 63, 2 ** 63 - 1],
-                     dtype=np.uint64)
-        out = codec.decode(codec.encode(x), x.size, np.uint64)
-        assert np.array_equal(out, x)
-
-    @settings(max_examples=30, deadline=None)
-    @given(data=uint32_arrays)
-    def test_property_roundtrip_u32(self, codec_cls, data):
-        codec = codec_cls()
-        out = codec.decode(codec.encode(data), data.size, np.uint32)
-        assert np.array_equal(out, data)
-
-    @settings(max_examples=20, deadline=None)
-    @given(data=uint32_arrays)
-    def test_encoded_size_matches_encode(self, codec_cls, data):
-        codec = codec_cls()
-        assert codec.encoded_size(data) == len(codec.encode(data))
 
 
 class TestDeltaCodec:

@@ -1,0 +1,260 @@
+"""The tracing layer: spans, export/merge, adoption, and perf diffs."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    REPRO_TRACE_DIR,
+    TRACER,
+    Tracer,
+    diff_timings,
+    load_timings,
+    merge_traces,
+    perf_diff,
+    read_trace,
+    render_diff,
+    render_trace_summary,
+    spans_by_parent,
+    summarize_spans,
+    trace_summary,
+)
+from repro.perf import PerfRegistry
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer(perf=PerfRegistry())
+    t.start(trace_id="t-test")
+    yield t
+    t.stop()
+
+
+class TestSpanRecording:
+    def test_nesting_sets_parent_ids(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                with tracer.span("leaf") as leaf:
+                    pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        assert [s.name for s in tracer.spans] == \
+            ["leaf", "inner", "outer"]  # closed innermost-first
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+
+    def test_attrs_and_count(self, tracer):
+        with tracer.span("work", count=42, app="bfs") as span:
+            span.set(extra=1)
+        assert span.attrs["app"] == "bfs"
+        assert span.attrs["extra"] == 1
+        assert span.attrs["count"] == 42
+        assert span.duration_s >= 0.0
+
+    def test_perf_mirror_accumulates(self, tracer):
+        with tracer.span("stage", count=5):
+            pass
+        with tracer.span("stage", count=7):
+            pass
+        stat = tracer.perf.stat("stage")
+        assert stat.calls == 2
+        assert stat.count == 12
+        assert stat.seconds >= 0.0
+
+    def test_inactive_tracer_keeps_perf_timer_path(self):
+        t = Tracer(perf=PerfRegistry())
+        assert not t.active
+        with t.span("stage", count=3) as span:
+            span.set(ignored=True)  # the shared null span swallows it
+        assert t.spans == []
+        stat = t.perf.stat("stage")
+        assert stat.calls == 1 and stat.count == 3
+
+    def test_forked_child_sees_inactive(self, tracer):
+        # Fork-safety is keyed on the owning pid; fake a child process.
+        tracer._owner_pid = os.getpid() + 1
+        assert not tracer.active
+        with tracer.span("x"):
+            pass
+        assert tracer.spans == []
+
+    def test_manual_span_parents_and_counts(self, tracer):
+        with tracer.span("envelope") as env:
+            span = tracer.manual_span("measured", duration_s=1.5,
+                                      count=9, job_id="j1")
+        assert span.parent_id == env.span_id
+        assert span.duration_s == 1.5
+        assert span.attrs["count"] == 9
+        explicit = tracer.manual_span("other", duration_s=0.5,
+                                      parent_id="custom")
+        assert explicit.parent_id == "custom"
+
+
+class TestExportAndMerge:
+    def test_save_read_roundtrip(self, tracer, tmp_path):
+        with tracer.span("outer", app="bfs"):
+            with tracer.span("inner", count=3):
+                pass
+        path = str(tmp_path / "trace.jsonl")
+        assert tracer.save(path) == 2
+        header, spans = read_trace(path)
+        assert header["trace_id"] == "t-test"
+        assert [s.name for s in spans] == ["outer", "inner"]  # by start
+        by_name = {s.name: s for s in spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].attrs["app"] == "bfs"
+
+    def test_flush_part_appends_and_clears(self, tracer, tmp_path):
+        with tracer.span("a"):
+            pass
+        part = str(tmp_path / "worker-1.jsonl")
+        tracer.flush_part(part)
+        assert tracer.spans == []
+        with tracer.span("b"):
+            pass
+        tracer.flush_part(part)
+        with open(part) as handle:
+            names = [json.loads(line)["name"] for line in handle]
+        assert names == ["a", "b"]
+
+    def test_adopt_parts_reparents_by_job_id(self, tracer, tmp_path):
+        worker = Tracer(perf=None)
+        worker.start()
+        with worker.span("jobs.group", job_id="job-1"):
+            with worker.span("jobs.price"):
+                pass
+        parts = tmp_path / "parts"
+        worker.flush_part(str(parts / "worker-9.jsonl"))
+        worker.stop()
+
+        with tracer.span("jobs.run") as run:
+            task = tracer.manual_span("jobs.task", duration_s=0.1,
+                                      job_id="job-1")
+        adopted = tracer.adopt_parts(str(parts),
+                                     {"job-1": task.span_id},
+                                     fallback_parent=run.span_id)
+        assert adopted == 2
+        by_name = {s.name: s for s in tracer.spans}
+        group = by_name["jobs.group"]
+        assert group.parent_id == task.span_id
+        # Intra-worker nesting is preserved.
+        assert by_name["jobs.price"].parent_id == group.span_id
+
+    def test_adopt_parts_fallback_and_missing_dir(self, tracer,
+                                                  tmp_path):
+        worker = Tracer(perf=None)
+        worker.start()
+        with worker.span("jobs.group", job_id="unknown"):
+            pass
+        parts = tmp_path / "parts"
+        worker.flush_part(str(parts / "worker-2.jsonl"))
+        with tracer.span("jobs.run") as run:
+            pass
+        tracer.adopt_parts(str(parts), {}, fallback_parent=run.span_id)
+        group = next(s for s in tracer.spans if s.name == "jobs.group")
+        assert group.parent_id == run.span_id
+        assert tracer.adopt_parts(str(tmp_path / "nope"), {}) == 0
+
+    def test_merge_traces(self, tracer, tmp_path):
+        with tracer.span("a"):
+            pass
+        first = str(tmp_path / "one.jsonl")
+        tracer.save(first)
+        other = Tracer(perf=None)
+        other.start(trace_id="t2")
+        with other.span("b"):
+            pass
+        second = str(tmp_path / "two.jsonl")
+        other.save(second)
+        merged_path = str(tmp_path / "merged.jsonl")
+        merged = merge_traces([first, second], merged_path)
+        assert sorted(s.name for s in merged) == ["a", "b"]
+        header, spans = read_trace(merged_path)
+        assert header["trace_id"] == "t-test"  # first header wins
+        assert len(spans) == 2
+
+    def test_summaries_and_rendering(self, tracer, tmp_path):
+        with tracer.span("heavy", count=10):
+            pass
+        with tracer.span("heavy", count=5):
+            pass
+        summary = summarize_spans(tracer.spans)
+        assert summary["heavy"]["calls"] == 2
+        assert summary["heavy"]["count"] == 15
+        path = str(tmp_path / "trace.jsonl")
+        tracer.save(path)
+        assert trace_summary(path)["heavy"]["calls"] == 2
+        rendered = render_trace_summary(path)
+        assert "heavy" in rendered and "t-test" in rendered
+        index = spans_by_parent(tracer.spans)
+        assert len(index[None]) == 2
+
+
+class TestGlobalTracer:
+    def test_module_tracer_mirrors_into_perf_when_inactive(self):
+        from repro.perf import PERF
+        assert TRACER.perf is PERF
+        assert not TRACER.active
+        assert REPRO_TRACE_DIR == "REPRO_TRACE_DIR"
+
+
+class TestDiff:
+    def test_load_timings_bench_json(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "section": {"batch_s": 0.5, "speedup": 4.0, "streams": 3},
+            "nested": {"deep": {"scalar_s": 1.0}},
+            "bench": "x",
+        }))
+        timings = load_timings(str(path))
+        assert timings == {"section/batch_s": 0.5,
+                           "nested/deep/scalar_s": 1.0}
+
+    def test_load_timings_trace_jsonl(self, tmp_path):
+        t = Tracer(perf=None)
+        t.start()
+        with t.span("stage"):
+            pass
+        path = str(tmp_path / "trace.jsonl")
+        t.save(path)
+        timings = load_timings(path)
+        assert list(timings) == ["trace_summary/stage/seconds"]
+
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            diff_timings({}, {}, threshold=1.0)
+
+    def test_flags_regression_past_threshold(self):
+        baseline = {"a/batch_s": 0.1, "b/batch_s": 0.1,
+                    "only_base_s": 1.0}
+        current = {"a/batch_s": 0.25, "b/batch_s": 0.12,
+                   "only_cur_s": 9.0}
+        regressions, compared = diff_timings(baseline, current, 1.5)
+        assert compared == 2  # only shared metrics
+        assert [r.metric for r in regressions] == ["a/batch_s"]
+        assert regressions[0].ratio == pytest.approx(2.5)
+        rendered = render_diff(regressions, compared, 1.5)
+        assert "REGRESSION" in rendered and "a/batch_s" in rendered
+
+    def test_noise_floor_baselines_ignored(self):
+        baseline = {"a/batch_s": 1e-9}
+        current = {"a/batch_s": 1.0}
+        regressions, _ = diff_timings(baseline, current, 1.5)
+        assert regressions == []
+
+    def test_perf_diff_end_to_end(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps({"s": {"batch_s": 0.1}}))
+        cur.write_text(json.dumps({"s": {"batch_s": 0.1}}))
+        regressions, compared = perf_diff(str(base), str(cur))
+        assert regressions == [] and compared == 1
