@@ -13,22 +13,31 @@ line) in two regimes:
   adaptive kernel detects this and falls back to a collapsed-trace
   walk, so the expectation is parity (~1x), not a win.
 
+A fourth section times the SpZip engine itself: the same compressed-CSR
+traversal driven through the per-cycle reference loop and the
+event-driven core (skip-ahead + bursts) on an MLP-limited configuration
+(single-outstanding-line access unit, 300-cycle memory), with the two
+modes asserted cycle-identical before either is timed.
+
 Every kernel result is checked against the scalar reference before
-timings are recorded in ``BENCH_pr4.json``.  Exits nonzero if any
+timings are recorded in ``BENCH_pr5.json``.  Exits nonzero if any
 kernel diverges, the binned Push-scatter speedup falls below the 3x
-floor, or active tracing costs more than
-:data:`TRACING_OVERHEAD_CEILING` on the span-per-stream replay run.
+floor, the event-driven engine speedup falls below the 5x floor, or
+active tracing costs more than :data:`TRACING_OVERHEAD_CEILING` on the
+span-per-stream replay run.
 
-The section names (``push_scatter_binned`` ...) match the committed
-``BENCH_pr2.json`` baseline, so the two diff cleanly::
+The replay section names (``push_scatter_binned`` ...) match the
+committed ``BENCH_pr4.json`` baseline, so the two diff cleanly (the
+``engine_drive`` section is new in this file and simply doesn't
+participate)::
 
-    PYTHONPATH=src python -m repro perf diff BENCH_pr2.json \
-        --against BENCH_pr4.json
+    PYTHONPATH=src python -m repro perf diff BENCH_pr4.json \
+        --against BENCH_pr5.json
 
 Run with::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py \
-        [--out BENCH_pr4.json] [--trace TRACE.jsonl]
+        [--out BENCH_pr5.json] [--trace TRACE.jsonl]
 """
 
 from __future__ import annotations
@@ -41,7 +50,20 @@ import time
 
 import numpy as np
 
-from repro.memory import FastLruCache
+from repro.config import SpZipConfig
+from repro.dcl import pack_range
+from repro.engine import (
+    INPUT_QUEUE,
+    MODE_CYCLE,
+    MODE_EVENT,
+    ROWS_QUEUE,
+    DriveRequest,
+    Fetcher,
+    compressed_csr_traversal,
+    drive,
+)
+from repro.graph import CompressedCsr, community_graph
+from repro.memory import AddressSpace, FastLruCache
 from repro.obs import TRACER, summarize_spans
 from repro.runtime.traffic import (
     _lru_scatter,
@@ -53,6 +75,10 @@ from repro.runtime.traffic import (
 #: Minimum acceptable speedup for the binned Push destination-scatter
 #: replay (the profiling hot path).
 SCATTER_SPEEDUP_FLOOR = 3.0
+
+#: Minimum acceptable speedup of the event-driven engine core over the
+#: per-cycle reference on the MLP-limited traversal below.
+ENGINE_SPEEDUP_FLOOR = 5.0
 
 #: Maximum acceptable fractional slowdown of a span-per-stream replay
 #: run with the tracer recording vs. inactive (5%).
@@ -208,6 +234,53 @@ def bench_tracing_overhead(streams, capacity, repeats=5):
     }
 
 
+def bench_engine_drive(walk=1000, mem_latency=300):
+    """Per-cycle reference vs event-driven engine on one traversal.
+
+    The workload is deliberately MLP-limited — a single-outstanding-line
+    access unit against 300-cycle memory — so nearly every simulated
+    cycle is an idle wait the event core can skip.  Both modes are
+    asserted cycle-identical (cycles, outputs, fires, idle accounting)
+    before either leg is timed.
+    """
+    graph = community_graph(2000, 16000, seed_stream="perf")
+    cc = CompressedCsr(graph)
+    space = AddressSpace()
+    space.alloc_array("offsets", cc.offsets, "adjacency")
+    space.alloc_array("payload",
+                      np.frombuffer(cc.payload, dtype=np.uint8),
+                      "adjacency")
+    request = DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, walk + 1)]},
+                           consume=(ROWS_QUEUE,), dequeues_per_cycle=4,
+                           max_cycles=10 ** 8)
+
+    def run(mode):
+        engine = Fetcher.from_program(
+            compressed_csr_traversal(), space,
+            SpZipConfig(au_outstanding_lines=1),
+            mem_latency=mem_latency, mode=mode)
+        return drive(engine, request)
+
+    ref = run(MODE_CYCLE)
+    evt = run(MODE_EVENT)
+    assert (evt.cycles, evt.outputs, evt.fires_by_op, evt.idle_cycles) \
+        == (ref.cycles, ref.outputs, ref.fires_by_op, ref.idle_cycles), \
+        "event-driven engine diverged from per-cycle reference"
+    cycle_s, _ = timeit(lambda: run(MODE_CYCLE))
+    event_s, _ = timeit(lambda: run(MODE_EVENT))
+    return {
+        "engine_cycles": ref.cycles,
+        "walked_rows": walk,
+        "mem_latency": mem_latency,
+        "au_outstanding_lines": 1,
+        "idle_cycles": ref.idle_cycles,
+        "skipped_idle_cycles": evt.skipped_idle_cycles,
+        "cycle_s": cycle_s,
+        "event_s": event_s,
+        "speedup": cycle_s / event_s,
+    }
+
+
 def report(label, row):
     print(f"{label:22s}: {row['scalar_s']:.3f}s scalar / "
           f"{row['batch_s']:.3f}s batch = {row['speedup']:.1f}x",
@@ -216,7 +289,7 @@ def report(label, row):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_pr4.json",
+    parser.add_argument("--out", default="BENCH_pr5.json",
                         help="where to write the results JSON")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="also write a span trace (JSONL) of the "
@@ -250,6 +323,13 @@ def main(argv=None) -> int:
     with TRACER.span("bench.fast_lru_access_many"):
         cache = bench_access_many(binned[:25], CAPACITY_LINES)
     report("access_many (binned)", cache)
+    with TRACER.span("bench.engine_drive"):
+        engine = bench_engine_drive()
+    print(f"{'engine drive':22s}: {engine['cycle_s']:.3f}s cycle / "
+          f"{engine['event_s']:.3f}s event = "
+          f"{engine['speedup']:.1f}x "
+          f"({engine['engine_cycles']} cycles, "
+          f"{engine['skipped_idle_cycles']} skipped)", file=sys.stderr)
     trace_summary = summarize_spans(TRACER.spans)
     if args.trace:
         spans = TRACER.save(args.trace)
@@ -257,16 +337,18 @@ def main(argv=None) -> int:
     TRACER.stop()
 
     record = {
-        "bench": "pr4_traced_replay",
+        "bench": "pr5_event_engine",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "push_scatter_binned": push,
         "push_scatter_unbinned": push_unbinned,
         "phi_coalesce": phi,
         "fast_lru_access_many": cache,
+        "engine_drive": engine,
         "tracing_overhead": overhead,
         "trace_summary": trace_summary,
         "speedup_floor": SCATTER_SPEEDUP_FLOOR,
+        "engine_speedup_floor": ENGINE_SPEEDUP_FLOOR,
     }
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
@@ -278,6 +360,11 @@ def main(argv=None) -> int:
         print(f"FAIL: binned push-scatter speedup "
               f"{push['speedup']:.2f}x below "
               f"{SCATTER_SPEEDUP_FLOOR}x floor", file=sys.stderr)
+        status = 1
+    if engine["speedup"] < ENGINE_SPEEDUP_FLOOR:
+        print(f"FAIL: event-driven engine speedup "
+              f"{engine['speedup']:.2f}x below "
+              f"{ENGINE_SPEEDUP_FLOOR}x floor", file=sys.stderr)
         status = 1
     if overhead["overhead"] > TRACING_OVERHEAD_CEILING:
         print(f"FAIL: tracing overhead "

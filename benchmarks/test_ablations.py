@@ -126,6 +126,7 @@ def test_ablation_outstanding_requests(benchmark, runner, report):
     from repro.config import SpZipConfig
     from repro.dcl import pack_range
     from repro.engine import (
+        DriveRequest,
         INPUT_QUEUE,
         ROWS_QUEUE,
         Fetcher,
@@ -146,10 +147,10 @@ def test_ablation_outstanding_requests(benchmark, runner, report):
         # The core dequeues one element per cycle, so useful run-ahead
         # is bounded at ~latency/elements-per-request ~= 8 requests --
         # exactly the design point.
-        result = drive(fetcher,
-                       feeds={INPUT_QUEUE: [pack_range(0, 800)]},
-                       consume=[ROWS_QUEUE], dequeues_per_cycle=1,
-                       max_cycles=10 ** 8)
+        result = drive(fetcher, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 800)]},
+                                             consume=[ROWS_QUEUE],
+                                             dequeues_per_cycle=1,
+                                             max_cycles=10 ** 8))
         return result.cycles
 
     def measure():

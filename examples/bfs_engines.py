@@ -20,6 +20,7 @@ from repro.compression import DeltaCodec
 from repro.config import SpZipConfig
 from repro.dcl import pack_range
 from repro.engine import (
+    DriveRequest,
     Compressor,
     Fetcher,
     NEIGH_QUEUE,
@@ -57,11 +58,11 @@ def engine_bfs(graph, root):
     total_cycles = 0
     while frontier_size:
         level += 1
-        fetcher = Fetcher(SpZipConfig(), space)
-        fetcher.load_program(bfs_push(emit_active_ids=False))
-        result = drive(fetcher,
-                       feeds={"input": [pack_range(0, frontier_size)]},
-                       consume=[NEIGH_QUEUE], max_cycles=10 ** 8)
+        fetcher = Fetcher.from_program(bfs_push(emit_active_ids=False),
+                                       space, SpZipConfig())
+        result = drive(fetcher, DriveRequest(feeds={"input": [pack_range(0, frontier_size)]},
+                                             consume=[NEIGH_QUEUE],
+                                             max_cycles=10 ** 8))
         total_cycles += result.cycles
         # The core applies the visited check (Listing 2 lines 9-11).
         fresh = []
@@ -78,14 +79,14 @@ def engine_bfs(graph, root):
             break
         fresh.sort()
         # Compress the next frontier through the compressor (Fig 13)...
-        compressor = Compressor(SpZipConfig(), space)
-        compressor.load_program(single_stream_compress(
+        compressor = Compressor.from_program(single_stream_compress(
             output_region="frontier_compressed",
             capacity_bytes=space.region("frontier_compressed").nbytes,
-            chunk_elems=len(fresh) + 1))
+            chunk_elems=len(fresh) + 1), space, SpZipConfig())
         feed = [(v, False) for v in fresh] + [(0, True)]
-        comp_result = drive(compressor, feeds={"input": feed},
-                            consume=[], max_cycles=10 ** 8)
+        comp_result = drive(compressor, DriveRequest(feeds={"input": feed},
+                                                     consume=[],
+                                                     max_cycles=10 ** 8))
         total_cycles += comp_result.cycles
         writer = next(op for op in compressor.operators
                       if op.name == "writer")

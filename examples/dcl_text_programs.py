@@ -15,7 +15,7 @@ import numpy as np
 from repro.compression import DeltaCodec
 from repro.config import SpZipConfig
 from repro.dcl import pack_range, parse_dcl
-from repro.engine import Compressor, Fetcher, drive
+from repro.engine import DriveRequest, Compressor, Fetcher, drive
 from repro.graph import CompressedCsr, community_graph
 from repro.memory import AddressSpace
 
@@ -52,12 +52,10 @@ def run_traversal():
           f"{len(program.queues)} queues "
           f"(inputs={program.input_queues()}, "
           f"outputs={program.output_queues()})")
-    fetcher = Fetcher(SpZipConfig(), space)
-    fetcher.load_program(program)
-    result = drive(fetcher,
-                   feeds={"input": [pack_range(0,
-                                               graph.num_vertices + 1)]},
-                   consume=["rows"])
+    fetcher = Fetcher.from_program(program, space, SpZipConfig())
+    result = drive(fetcher, DriveRequest(
+        feeds={"input": [pack_range(0, graph.num_vertices + 1)]},
+        consume=["rows"]))
     rows = result.chunks("rows")
     assert all(rows[v] == graph.row(v).tolist()
                for v in range(graph.num_vertices))
@@ -71,10 +69,9 @@ def run_compressor():
     space = AddressSpace()
     space.alloc("outbuf", 65536, "updates")
     program = parse_dcl(COMPRESS_DCL)
-    compressor = Compressor(SpZipConfig(), space)
-    compressor.load_program(program)
+    compressor = Compressor.from_program(program, space, SpZipConfig())
     feed = [(v, False) for v in values] + [(0, True)]
-    drive(compressor, feeds={"input": feed}, consume=[])
+    drive(compressor, DriveRequest(feeds={"input": feed}, consume=[]))
     writer = next(op for op in compressor.operators
                   if op.name == "writer")
     print(f"compressor wrote {writer.total_written} B for "

@@ -17,6 +17,7 @@ import numpy as np
 from repro.config import SpZipConfig
 from repro.dcl import pack_range
 from repro.engine import (
+    DriveRequest,
     INPUT_QUEUE,
     ROWS_QUEUE,
     Fetcher,
@@ -51,16 +52,14 @@ def main():
                       "adjacency")
 
     # Fig 3's DCL pipeline: offsets -> compressed rows -> decompressor.
-    fetcher = Fetcher(SpZipConfig(), space)
-    fetcher.load_program(compressed_csr_traversal())
+    fetcher = Fetcher.from_program(compressed_csr_traversal(), space,
+                                   SpZipConfig())
 
     # The core enqueues one range covering all rows, then dequeues
     # marker-delimited neighbour sets while the fetcher runs ahead.
-    result = drive(fetcher,
-                   feeds={INPUT_QUEUE: [pack_range(0,
-                                                   graph.num_vertices
-                                                   + 1)]},
-                   consume=[ROWS_QUEUE])
+    result = drive(fetcher, DriveRequest(
+        feeds={INPUT_QUEUE: [pack_range(0, graph.num_vertices + 1)]},
+        consume=[ROWS_QUEUE]))
     print(f"traversal took {result.cycles} engine cycles")
     for vertex, row in enumerate(result.chunks(ROWS_QUEUE)):
         assert row == graph.row(vertex).tolist()

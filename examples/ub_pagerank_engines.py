@@ -50,12 +50,12 @@ def ub_pagerank_iteration(graph, contribs, vertices_per_bin=64):
     space.alloc("compressed_bins", num_bins * (1 << 16), "updates")
 
     # Configure both engines (spzip_fetcher_cfg / spzip_comp_cfg).
-    fetcher = Fetcher(SpZipConfig(), space)
-    fetcher.load_program(pagerank_push(prefetch_scores=False,
-                                       contrib_elem_bytes=4))
-    compressor = Compressor(SpZipConfig(), space)
-    compressor.load_program(ub_bins_compress(num_bins, chunk_elems=16,
-                                             sort_chunks=True))
+    fetcher = Fetcher.from_program(
+        pagerank_push(prefetch_scores=False, contrib_elem_bytes=4),
+        space, SpZipConfig())
+    compressor = Compressor.from_program(
+        ub_bins_compress(num_bins, chunk_elems=16, sort_chunks=True),
+        space, SpZipConfig())
 
     # ---- binning phase (Listing 5 lines 6-17) -------------------------
     fetcher.enqueue(INPUT_QUEUE, pack_range(0, n))

@@ -251,6 +251,7 @@ def _cmd_traverse(args) -> int:
     from repro.config import SpZipConfig
     from repro.dcl import pack_range
     from repro.engine import (
+        DriveRequest,
         INPUT_QUEUE,
         ROWS_QUEUE,
         Fetcher,
@@ -267,12 +268,11 @@ def _cmd_traverse(args) -> int:
     space.alloc_array("payload",
                       np.frombuffer(compressed.payload, dtype=np.uint8),
                       "adjacency")
-    fetcher = Fetcher(SpZipConfig(), space)
-    fetcher.load_program(compressed_csr_traversal())
-    result = drive(fetcher, feeds={INPUT_QUEUE: [pack_range(0,
-                                                            rows + 1)]},
-                   consume=[ROWS_QUEUE], dequeues_per_cycle=4,
-                   max_cycles=10 ** 8)
+    fetcher = Fetcher.from_program(compressed_csr_traversal(), space,
+                                   SpZipConfig())
+    result = drive(fetcher, DriveRequest(
+        feeds={INPUT_QUEUE: [pack_range(0, rows + 1)]},
+        consume=[ROWS_QUEUE], dequeues_per_cycle=4, max_cycles=10 ** 8))
     chunks = result.chunks(ROWS_QUEUE)
     edges = sum(len(c) for c in chunks)
     ok = all(chunks[v] == graph.row(v).tolist() for v in range(rows))

@@ -1,6 +1,7 @@
 """The Dataflow Configuration Language — SpZip's HW/SW interface."""
 
 from repro.dcl.operators import (
+    NEVER,
     CompressOp,
     DecompressOp,
     IndirectOp,
@@ -36,6 +37,7 @@ __all__ = [
     "IndirectOp",
     "MarkerQueue",
     "MemQueueOp",
+    "NEVER",
     "OpSpec",
     "Operator",
     "Program",

@@ -8,9 +8,16 @@ from repro.engine.area import (
     scratchpad_area,
     spzip_core_overhead,
 )
-from repro.engine.base import EngineStall, SpZipEngine, engine_stats
+from repro.engine.base import (
+    MODE_CYCLE,
+    MODE_EVENT,
+    MODES,
+    EngineStall,
+    SpZipEngine,
+    engine_stats,
+)
 from repro.engine.compressor import Compressor
-from repro.engine.driver import DriveResult, drive
+from repro.engine.driver import DriveRequest, DriveResult, Feed, drive
 from repro.engine.multicore import (
     MulticoreTraversal,
     make_chunks,
@@ -41,11 +48,16 @@ __all__ = [
     "CONTRIBS_QUEUE",
     "CORE_AREA_UM2",
     "Compressor",
+    "DriveRequest",
     "DriveResult",
     "EngineArea",
     "EngineStall",
+    "Feed",
     "Fetcher",
     "INPUT_QUEUE",
+    "MODES",
+    "MODE_CYCLE",
+    "MODE_EVENT",
     "MulticoreTraversal",
     "NEIGH_QUEUE",
     "OFFSETS_INPUT_QUEUE",

@@ -12,18 +12,46 @@ The **access unit** (AU) is where decoupling comes from: it accepts up to
 while earlier data drains into queues.  Shallow queues throttle this —
 responses stall when their output queue is full — which is exactly the
 scratchpad-size sensitivity of Fig 21.
+
+Execution modes
+---------------
+
+The engine runs in one of two modes (:data:`MODE_EVENT` is the default;
+:data:`MODE_CYCLE` is the per-cycle reference, kept opt-in):
+
+* **cycle** — the literal hardware loop: every simulated cycle delivers
+  responses, asks the scheduler for one ready context, and advances the
+  clock, even when nothing can possibly happen.  The paper's scheduler
+  reports ~33% activity, so most reference cycles are interpreter time
+  spent proving idleness.
+* **event** — an event-driven core that executes exactly the same
+  cycles *that do work*.  Operator readiness in this model changes only
+  at discrete events (a fire, an in-order AU delivery, a core
+  enqueue/dequeue); the single time-driven event is the AU's next
+  completion.  Whenever a cycle does no work, the core jumps the clock
+  straight to that completion (booking the skipped cycles as scheduler
+  idle), and when exactly one context is runnable it fires it in
+  bounded bursts without re-running the full cycle machinery.
+
+The event mode is **cycle-identical** to the reference: same cycle
+counts, same per-operator fire counts, same idle/activity statistics,
+same queue high-water marks — enforced by the randomized equivalence
+suite in ``tests/test_engine_equivalence.py``.  The only observable
+difference is deadlock detection: the reference spins 10k cycles before
+raising :class:`EngineStall`, while the event core proves "no future
+event" and raises immediately.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import SpZipConfig
-from repro.dcl.operators import Operator
+from repro.dcl.operators import NEVER, Operator
 from repro.dcl.program import Program
 from repro.dcl.queue import Entry, MarkerQueue
 from repro.dcl.scheduler import RoundRobinScheduler
@@ -31,6 +59,22 @@ from repro.memory.address import AddressSpace
 
 #: Memory port signature: (addr, nbytes, write) -> latency cycles.
 MemPort = Callable[[int, int, bool], int]
+
+#: Execution modes (see the module docstring).
+MODE_EVENT = "event"
+MODE_CYCLE = "cycle"
+MODES = (MODE_EVENT, MODE_CYCLE)
+
+#: Upper bound on consecutive sole-context fires before the event core
+#: re-enters the full scheduling loop (bounded bursts).
+BURST_CYCLES = 256
+
+
+def validate_mode(mode: str) -> str:
+    if mode not in MODES:
+        raise ValueError(f"unknown engine mode {mode!r} "
+                         f"(expected one of {MODES})")
+    return mode
 
 
 @dataclass
@@ -53,11 +97,13 @@ class SpZipEngine:
 
     def __init__(self, config: SpZipConfig, space: AddressSpace,
                  mem_port: Optional[MemPort] = None,
-                 mem_latency: int = 20) -> None:
+                 mem_latency: int = 20,
+                 mode: str = MODE_EVENT) -> None:
         self.config = config
         self.space = space
         self._mem_port = mem_port
         self._flat_latency = mem_latency
+        self.mode = validate_mode(mode)
         self.cycle = 0
         self.queues: Dict[str, MarkerQueue] = {}
         self.operators: List[Operator] = []
@@ -69,6 +115,32 @@ class SpZipEngine:
         self.mem_bytes_read = 0
         self.mem_writes = 0
         self.mem_bytes_written = 0
+        self.burst_fires = 0
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_program(cls, program: Program, space: AddressSpace,
+                     config: Optional[SpZipConfig] = None, *,
+                     mem_port: Optional[MemPort] = None,
+                     mem_latency: Optional[int] = None,
+                     mode: str = MODE_EVENT) -> "SpZipEngine":
+        """Build a fully wired engine in one step.
+
+        This is the public construction surface: hardware parameters
+        (``config``), the address space the program's regions resolve
+        against, the memory port (or a flat latency), and the execution
+        mode all land here, and the program is validated and installed
+        before the engine is returned.  ``mem_latency=None`` keeps the
+        engine type's default (fetchers model an L2-side port,
+        compressors an LLC-side one, so their defaults differ).
+        """
+        kwargs: Dict[str, object] = {"mem_port": mem_port, "mode": mode}
+        if mem_latency is not None:
+            kwargs["mem_latency"] = mem_latency
+        engine = cls(config or SpZipConfig(), space, **kwargs)
+        engine.load_program(program)
+        return engine
 
     # -- configuration (memory-mapped I/O in hardware) -------------------------
 
@@ -137,6 +209,25 @@ class SpZipEngine:
     def au_can_issue(self) -> bool:
         return len(self._inflight) < self.config.au_outstanding_lines
 
+    def au_next_free_cycle(self) -> int:
+        """Lower bound on when a full AU frees a slot (head completion)."""
+        if self._inflight \
+                and len(self._inflight) >= self.config.au_outstanding_lines:
+            return self._inflight[0].complete_at
+        return self.cycle
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Cycle at which time alone next changes engine state.
+
+        Delivery is in order, so the head of the in-flight FIFO gates
+        everything behind it; with nothing in flight there is no
+        time-driven event at all (``None``) and only external agents can
+        unblock the engine.
+        """
+        if self._inflight:
+            return self._inflight[0].complete_at
+        return None
+
     def au_issue(self, operator: Operator, addr: int, nbytes: int,
                  entries: List[Entry],
                  out_queues: Sequence[MarkerQueue]) -> None:
@@ -152,14 +243,20 @@ class SpZipEngine:
                                                [entry],
                                                operator.out_queues))
 
-    def _deliver_responses(self) -> bool:
+    def _deliver(self) -> Tuple[bool, bool]:
         """Drain completed AU responses, in order, up to FU throughput.
 
         Responses always fit: issuing operators reserved their output
         space up front (credit-based flow control), so the in-order FIFO
         can never block head-of-line.
+
+        Returns ``(pushed, popped)``: whether any entry was delivered,
+        and whether any completed request was retired (entry-less
+        prefetch requests retire without delivering, which still frees
+        an AU slot — a state change the event core must see as work).
         """
-        progressed = False
+        pushed = False
+        popped = False
         budget = self.config.fu_bytes_per_cycle
         while self._inflight and budget > 0:
             head = self._inflight[0]
@@ -169,12 +266,17 @@ class SpZipEngine:
                 entry = head.entries.pop(0)
                 for queue in head.out_queues:
                     queue.push(entry.value, entry.marker, reserved=True)
-                progressed = True
+                pushed = True
                 budget -= 1
             if head.entries:
                 break
             self._inflight.popleft()
-        return progressed
+            popped = True
+        return pushed, popped
+
+    def _deliver_responses(self) -> bool:
+        pushed, _popped = self._deliver()
+        return pushed
 
     # -- execution -----------------------------------------------------------------
 
@@ -192,8 +294,44 @@ class SpZipEngine:
         self.cycle += 1
         return progressed
 
-    def run(self, max_cycles: int = 10_000_000) -> int:
-        """Tick until fully drained; returns cycles spent."""
+    def tick_work(self) -> bool:
+        """Advance one cycle; returns True only if *state changed*.
+
+        Unlike :meth:`tick` (whose return value treats waiting on memory
+        as progress, feeding the reference loop's stall detector), this
+        reports real work: a delivery, a retired request, or a fire.
+        ``False`` means the cycle was provably a no-op and every cycle
+        until the next AU completion would be too — the signal the
+        event-driven loops skip on.
+        """
+        if self.scheduler is None:
+            raise RuntimeError("no program loaded")
+        if self._inflight \
+                and self._inflight[0].complete_at <= self.cycle:
+            pushed, popped = self._deliver()
+        else:
+            pushed = popped = False
+        op = self.scheduler.pick(self)
+        if op is not None:
+            op.fire(self)
+        self.cycle += 1
+        return pushed or popped or op is not None
+
+    def run(self, max_cycles: int = 10_000_000,
+            mode: Optional[str] = None) -> int:
+        """Run until fully drained; returns cycles spent.
+
+        ``mode`` overrides the engine's configured execution mode for
+        this call (``"cycle"`` per-cycle reference, ``"event"``
+        skip-ahead; both produce identical cycle counts and statistics).
+        """
+        mode = validate_mode(mode or self.mode)
+        if mode == MODE_CYCLE:
+            return self._run_cycle(max_cycles)
+        return self._run_event(max_cycles)
+
+    def _run_cycle(self, max_cycles: int) -> int:
+        """Per-cycle reference loop (the literal hardware behaviour)."""
         start = self.cycle
         idle = 0
         while not self.is_drained():
@@ -207,6 +345,75 @@ class SpZipEngine:
                         f"(output queue never drained?)")
             if self.cycle - start > max_cycles:
                 raise EngineStall(f"exceeded {max_cycles} cycles")
+        return self.cycle - start
+
+    def _run_event(self, max_cycles: int) -> int:
+        """Event-driven loop: skip idle stretches, burst sole contexts.
+
+        Cycle-identical to :meth:`_run_cycle`; see the module docstring
+        for the argument.  Two invariants carry the proof:
+
+        * a cycle that does no work leaves every queue, context, and AU
+          slot untouched, so every subsequent cycle before the next AU
+          head completion is also a no-op — jump straight there;
+        * a ready operator implies the engine is not drained (readiness
+          requires a non-empty input queue or pending internal state),
+          so a burst never needs per-cycle drain checks.
+        """
+        if self.scheduler is None:
+            raise RuntimeError("no program loaded")
+        start = self.cycle
+        scheduler = self.scheduler
+        while not self.is_drained():
+            worked = False
+            inflight = self._inflight
+            if inflight and inflight[0].complete_at <= self.cycle:
+                pushed, popped = self._deliver()
+                worked = pushed or popped
+            op = scheduler.pick(self)
+            if op is not None:
+                op.fire(self)
+                worked = True
+            self.cycle += 1
+            if self.cycle - start > max_cycles:
+                raise EngineStall(f"exceeded {max_cycles} cycles")
+            if op is not None:
+                # Bounded burst: while this is the only runnable context
+                # and no delivery is due, repeated picks are predictable.
+                burst = 0
+                while burst < BURST_CYCLES:
+                    inflight = self._inflight
+                    if inflight \
+                            and inflight[0].complete_at <= self.cycle:
+                        break
+                    sole = scheduler.pick_sole(self)
+                    if sole is None:
+                        break
+                    sole.fire(self)
+                    self.cycle += 1
+                    burst += 1
+                    if self.cycle - start > max_cycles:
+                        raise EngineStall(
+                            f"exceeded {max_cycles} cycles")
+                self.burst_fires += burst
+                continue
+            if worked:
+                continue
+            # Idle cycle: nothing can happen before the next AU event.
+            target = self.next_event_cycle()
+            bound = scheduler.next_ready_cycle(self)
+            if bound < (target if target is not None else NEVER):
+                target = bound
+            if target is None or target >= NEVER:
+                raise EngineStall(
+                    "engine idle with nothing in flight "
+                    "(output queue never drained?)")
+            delta = target - self.cycle
+            if delta > 0:
+                scheduler.skip_idle(delta)
+                self.cycle = target
+                if self.cycle - start > max_cycles:
+                    raise EngineStall(f"exceeded {max_cycles} cycles")
         return self.cycle - start
 
     def is_drained(self) -> bool:
@@ -241,5 +448,8 @@ def engine_stats(engine: "SpZipEngine") -> Dict[str, object]:
         if scheduler else {},
         "activity_factor": scheduler.activity_factor()
         if scheduler else 0.0,
+        "idle_cycles": scheduler.idle_cycles if scheduler else 0,
+        "skipped_idle_cycles": scheduler.skipped_idle_cycles
+        if scheduler else 0,
         "queues": queues,
     }

@@ -3,43 +3,126 @@
 Hardware cores interact with SpZip engines through ``enqueue``/``dequeue``
 instructions (Sec III-A).  These drivers model the core side of that
 conversation — feed inputs when queues have space, consume outputs at a
-configurable rate — while ticking the engine, and report the cycles the
+configurable rate — while running the engine, and report the cycles the
 whole exchange took.  They are what the examples, the functional tests,
 and the Fig 21 scratchpad study use to "run a core program".
+
+The public surface is::
+
+    request = DriveRequest(feeds={"input": [pack_range(0, n)]},
+                           consume=("rows",))
+    result = drive(engine, request)
+
+:class:`DriveRequest` is a frozen description of the core side of the
+run (what gets fed, what gets consumed, at what rate, for how long, in
+which mode); :class:`DriveResult` carries the outputs plus per-run
+scheduler statistics.  ``drive(engine, feeds=..., consume=...)`` — the
+pre-typed keyword form — still works as a thin shim but emits a
+:class:`DeprecationWarning`.
+
+Like :meth:`SpZipEngine.run`, the drive loop has two modes: the
+per-cycle reference and the event-driven fast path (skip idle stretches
+to the next access-unit completion, fire sole-runnable contexts in
+bounded bursts).  Both are cycle-identical; see ``docs/ENGINE.md``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.dcl.queue import Entry
-from repro.engine.base import EngineStall, SpZipEngine
+from repro.engine.base import (
+    BURST_CYCLES,
+    EngineStall,
+    SpZipEngine,
+    validate_mode,
+)
 from repro.obs import TRACER
 
-#: Input feed items: (value, is_marker) pairs or bare ints.
-FeedItem = object
+#: What callers may put in a feed list; normalized by :meth:`Feed.of`.
+FeedLike = Union[int, Tuple[int, bool], Entry, "Feed"]
 
 
-def _normalize_feed(items: Iterable[FeedItem]) -> List[Tuple[int, bool]]:
-    out: List[Tuple[int, bool]] = []
-    for item in items:
+@dataclass(frozen=True)
+class Feed:
+    """One entry the core enqueues into an engine input queue."""
+
+    value: int
+    marker: bool = False
+
+    @classmethod
+    def of(cls, item: FeedLike) -> "Feed":
+        """Normalize the accepted feed spellings to a :class:`Feed`.
+
+        This is the *single* normalization point for core-side inputs:
+
+        * ``Feed(value, marker)`` — passed through;
+        * ``Entry`` — value/marker copied;
+        * ``(value, marker)`` tuple — coerced;
+        * a bare ``int`` — a non-marker value.
+        """
+        if isinstance(item, Feed):
+            return item
+        if isinstance(item, Entry):
+            return cls(item.value, item.marker)
         if isinstance(item, tuple):
             value, marker = item
-            out.append((int(value), bool(marker)))
-        elif isinstance(item, Entry):
-            out.append((item.value, item.marker))
-        else:
-            out.append((int(item), False))
-    return out
+            return cls(int(value), bool(marker))
+        return cls(int(item), False)
+
+
+@dataclass(frozen=True)
+class DriveRequest:
+    """Everything the modelled core does during a :func:`drive` run.
+
+    ``feeds`` maps input-queue names to the entries the core enqueues
+    (any :data:`FeedLike` spelling; normalized on construction);
+    ``consume`` names the output queues the core dequeues from, at up to
+    ``dequeues_per_cycle`` entries per cycle (modelling the core's
+    dequeue-instruction throughput).  ``mode`` selects the execution
+    mode for this run (``"event"``/``"cycle"``); ``None`` defers to the
+    engine's configured mode.
+    """
+
+    feeds: Mapping[str, Tuple[Feed, ...]] = field(default_factory=dict)
+    consume: Tuple[str, ...] = ()
+    dequeues_per_cycle: int = 2
+    max_cycles: int = 10_000_000
+    mode: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "feeds", {
+            name: tuple(Feed.of(item) for item in items)
+            for name, items in dict(self.feeds).items()
+        })
+        object.__setattr__(self, "consume", tuple(self.consume))
+        if self.dequeues_per_cycle < 1:
+            raise ValueError("dequeues_per_cycle must be >= 1")
+        if self.mode is not None:
+            validate_mode(self.mode)
 
 
 @dataclass
 class DriveResult:
-    """What a co-simulated run produced and what it cost."""
+    """What a co-simulated run produced and what it cost.
+
+    ``cycles`` is the wall time of this run; the scheduler statistics
+    (``fires_by_op``, ``issued``, ``idle_cycles``,
+    ``skipped_idle_cycles``, ``activity_factor``) are per-run deltas —
+    identical between event and cycle modes except that only event mode
+    books ``skipped_idle_cycles``.
+    """
 
     cycles: int
     outputs: Dict[str, List[Entry]] = field(default_factory=dict)
+    fires_by_op: Dict[str, int] = field(default_factory=dict)
+    issued: int = 0
+    idle_cycles: int = 0
+    skipped_idle_cycles: int = 0
+    activity_factor: float = 0.0
+    mode: str = "event"
 
     def values(self, queue: str) -> List[int]:
         """Non-marker values dequeued from ``queue``."""
@@ -59,40 +142,87 @@ class DriveResult:
 
 
 def drive(engine: SpZipEngine,
-          feeds: Optional[Dict[str, Iterable[FeedItem]]] = None,
+          request: Optional[Union[DriveRequest, Mapping]] = None,
           consume: Iterable[str] = (),
           dequeues_per_cycle: int = 2,
-          max_cycles: int = 10_000_000) -> DriveResult:
+          max_cycles: int = 10_000_000,
+          feeds: Optional[Mapping[str, Iterable[FeedLike]]] = None,
+          ) -> DriveResult:
     """Run ``engine`` against a modelled core until everything drains.
 
-    ``feeds`` maps input-queue names to the entries the core enqueues;
-    ``consume`` names the output queues the core dequeues from, at up to
-    ``dequeues_per_cycle`` entries per cycle (modelling the core's
-    dequeue-instruction throughput).
+    The supported form is ``drive(engine, DriveRequest(...))``.  The
+    historical keyword form ``drive(engine, feeds=..., consume=...)``
+    (with ``feeds`` also accepted positionally) is kept as a shim that
+    builds the equivalent :class:`DriveRequest` and emits a
+    :class:`DeprecationWarning`.
     """
+    if not isinstance(request, DriveRequest):
+        if request is not None and feeds is None:
+            feeds = request  # legacy positional feeds dict
+        warnings.warn(
+            "drive(engine, feeds=..., consume=...) is deprecated; "
+            "pass a DriveRequest: drive(engine, DriveRequest(feeds=..., "
+            "consume=...))", DeprecationWarning, stacklevel=2)
+        request = DriveRequest(feeds=feeds or {}, consume=tuple(consume),
+                               dequeues_per_cycle=dequeues_per_cycle,
+                               max_cycles=max_cycles)
+    mode = validate_mode(request.mode or engine.mode)
+    scheduler = engine.scheduler
+    if scheduler is None:
+        raise RuntimeError("no program loaded")
+    fires0 = dict(scheduler.fires_by_op)
+    issued0 = scheduler.issued
+    idle0 = scheduler.idle_cycles
+    skipped0 = scheduler.skipped_idle_cycles
     with TRACER.span("engine.drive") as span:
-        result = _drive(engine, feeds, consume, dequeues_per_cycle,
-                        max_cycles)
-        span.set(cycles=result.cycles)
+        if mode == "cycle":
+            cycles, outputs = _drive_cycle(engine, request)
+        else:
+            cycles, outputs = _drive_event(engine, request)
+        issued = scheduler.issued - issued0
+        idle = scheduler.idle_cycles - idle0
+        result = DriveResult(
+            cycles=cycles,
+            outputs=outputs,
+            fires_by_op={name: count - fires0.get(name, 0)
+                         for name, count in scheduler.fires_by_op.items()
+                         if count - fires0.get(name, 0)},
+            issued=issued,
+            idle_cycles=idle,
+            skipped_idle_cycles=scheduler.skipped_idle_cycles - skipped0,
+            activity_factor=issued / (issued + idle)
+            if issued + idle else 0.0,
+            mode=mode,
+        )
+        span.set(cycles=result.cycles, mode=mode, issued=result.issued,
+                 idle_cycles=result.idle_cycles,
+                 skipped_idle_cycles=result.skipped_idle_cycles,
+                 activity_factor=round(result.activity_factor, 4))
     return result
 
 
-def _drive(engine: SpZipEngine,
-           feeds: Optional[Dict[str, Iterable[FeedItem]]],
-           consume: Iterable[str],
-           dequeues_per_cycle: int,
-           max_cycles: int) -> DriveResult:
-    pending: Dict[str, List[Tuple[int, bool]]] = {
-        name: _normalize_feed(items) for name, items in (feeds or {}).items()
+def _unpack(request: DriveRequest, engine: SpZipEngine):
+    pending: Dict[str, List[Feed]] = {
+        name: list(items) for name, items in request.feeds.items()
     }
-    outputs: Dict[str, List[Entry]] = {name: [] for name in consume}
+    outputs: Dict[str, List[Entry]] = {name: [] for name in request.consume}
+    return pending, outputs
+
+
+def _drive_cycle(engine: SpZipEngine, request: DriveRequest
+                 ) -> Tuple[int, Dict[str, List[Entry]]]:
+    """Per-cycle reference loop (kept verbatim as the oracle)."""
+    pending, outputs = _unpack(request, engine)
+    dequeues_per_cycle = request.dequeues_per_cycle
+    max_cycles = request.max_cycles
     start = engine.cycle
     idle = 0
     while True:
         progressed = False
         # Core enqueues (one enqueue instruction per input queue per cycle).
         for name, items in pending.items():
-            if items and engine.enqueue(name, items[0][0], items[0][1]):
+            if items and engine.enqueue(name, items[0].value,
+                                        items[0].marker):
                 items.pop(0)
                 progressed = True
         # Engine runs a cycle.
@@ -118,4 +248,123 @@ def _drive(engine: SpZipEngine,
             raise EngineStall("core/engine co-simulation stalled")
         if engine.cycle - start > max_cycles:
             raise EngineStall(f"exceeded {max_cycles} cycles")
-    return DriveResult(cycles=engine.cycle - start, outputs=outputs)
+    return engine.cycle - start, outputs
+
+
+def _drive_event(engine: SpZipEngine, request: DriveRequest
+                 ) -> Tuple[int, Dict[str, List[Entry]]]:
+    """Event-driven drive loop; cycle-identical to :func:`_drive_cycle`.
+
+    Each iteration executes exactly one reference cycle (feed, engine
+    cycle, consume, finished check).  Two fast paths change *how many
+    iterations run*, never what each cycle does:
+
+    * **skip-ahead** — a cycle that fed nothing, fired nothing,
+      delivered nothing and dequeued nothing leaves all state untouched,
+      so every later cycle before the next access-unit completion is
+      provably identical; the clock jumps there and the scheduler books
+      the gap as idle cycles.
+    * **bounded bursts** — with no feeds pending and exactly one
+      runnable context, the scheduler pick is predictable, so the
+      context fires directly for up to :data:`BURST_CYCLES` cycles
+      (consume and finished checks still run per cycle).
+    """
+    pending, outputs = _unpack(request, engine)
+    dequeues_per_cycle = request.dequeues_per_cycle
+    max_cycles = request.max_cycles
+    scheduler = engine.scheduler
+    queues = engine.queues
+    consume_queues = [queues[name] for name in outputs]
+    consume_pairs = [(name, queues[name]) for name in outputs]
+    inflight = engine._inflight
+    pick = scheduler.pick
+    pick_sole = scheduler.pick_sole
+    start = engine.cycle
+    feeds_done = not any(pending.values())
+    while True:
+        progressed = False
+        # Core enqueues (one enqueue instruction per input queue per cycle).
+        if not feeds_done:
+            for name, items in pending.items():
+                if items and engine.enqueue(name, items[0].value,
+                                            items[0].marker):
+                    items.pop(0)
+                    progressed = True
+            feeds_done = not any(pending.values())
+        # Engine cycle (deliveries gated on the in-order AU head).
+        if inflight and inflight[0].complete_at <= engine.cycle:
+            pushed, popped = engine._deliver()
+            if pushed or popped:
+                progressed = True
+        op = pick(engine)
+        if op is not None:
+            op.fire(engine)
+            progressed = True
+        engine.cycle += 1
+        # Core dequeues.
+        budget = dequeues_per_cycle
+        for name, queue in consume_pairs:
+            while budget > 0:
+                entry = queue.try_pop()
+                if entry is None:
+                    break
+                outputs[name].append(entry)
+                budget -= 1
+                progressed = True
+        # ``not inflight`` is implied by is_drained(); checking it first
+        # keeps the finished test O(1) on the overwhelmingly common
+        # not-finished cycles.
+        if (feeds_done and not inflight and engine.is_drained()
+                and all(q.is_empty for q in consume_queues)):
+            break
+        if engine.cycle - start > max_cycles:
+            raise EngineStall(f"exceeded {max_cycles} cycles")
+        if op is not None and feeds_done:
+            # Bounded burst: no feeds can arrive, so while exactly one
+            # context is runnable and no delivery is due, each cycle is
+            # the reference cycle with a predictable pick.
+            finished = False
+            burst = 0
+            while burst < BURST_CYCLES:
+                if inflight and inflight[0].complete_at <= engine.cycle:
+                    break
+                sole = pick_sole(engine)
+                if sole is None:
+                    break
+                sole.fire(engine)
+                engine.cycle += 1
+                burst += 1
+                if not all(q.is_empty for q in consume_queues):
+                    budget = dequeues_per_cycle
+                    for name, queue in consume_pairs:
+                        while budget > 0:
+                            entry = queue.try_pop()
+                            if entry is None:
+                                break
+                            outputs[name].append(entry)
+                            budget -= 1
+                if (not inflight and engine.is_drained()
+                        and all(q.is_empty for q in consume_queues)):
+                    finished = True
+                    break
+                if engine.cycle - start > max_cycles:
+                    raise EngineStall(f"exceeded {max_cycles} cycles")
+            engine.burst_fires += burst
+            if finished:
+                break
+            continue
+        if progressed:
+            continue
+        # Idle cycle: the state is frozen until the AU head completes.
+        target = engine.next_event_cycle()
+        if target is None:
+            # The reference spins 10k no-op cycles before concluding
+            # this; with no future event the conclusion is immediate.
+            raise EngineStall("core/engine co-simulation stalled")
+        delta = target - engine.cycle
+        if delta > 0:
+            scheduler.skip_idle(delta)
+            engine.cycle = target
+            if engine.cycle - start > max_cycles:
+                raise EngineStall(f"exceeded {max_cycles} cycles")
+    return engine.cycle - start, outputs

@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.config import SpZipConfig
 from repro.dcl.program import FETCHER_KINDS
-from repro.engine.base import MemPort, SpZipEngine
+from repro.engine.base import MODE_EVENT, MemPort, SpZipEngine
 from repro.memory.address import AddressSpace
 from repro.memory.hierarchy import MemoryHierarchy
 
@@ -28,17 +28,27 @@ class Fetcher(SpZipEngine):
 
     def __init__(self, config: SpZipConfig, space: AddressSpace,
                  mem_port: Optional[MemPort] = None,
-                 mem_latency: int = 20) -> None:
-        super().__init__(config, space, mem_port, mem_latency)
+                 mem_latency: int = 20,
+                 mode: str = MODE_EVENT) -> None:
+        super().__init__(config, space, mem_port, mem_latency, mode)
 
     @classmethod
     def for_core(cls, hierarchy: MemoryHierarchy, core: int = 0,
-                 config: Optional[SpZipConfig] = None) -> "Fetcher":
-        """Build a fetcher wired to ``core``'s L2 (the paper's topology)."""
+                 config: Optional[SpZipConfig] = None,
+                 mode: str = MODE_EVENT,
+                 program=None) -> "Fetcher":
+        """Build a fetcher wired to ``core``'s L2 (the paper's topology).
+
+        With ``program`` the fetcher comes back fully wired
+        (:meth:`SpZipEngine.from_program` against the hierarchy's space).
+        """
         config = config or hierarchy.config.spzip
 
         def port(addr: int, nbytes: int, write: bool) -> int:
             return hierarchy.access(addr, nbytes, core=core, write=write,
                                     start_level="l2")
 
-        return cls(config, hierarchy.space, mem_port=port)
+        if program is not None:
+            return cls.from_program(program, hierarchy.space, config,
+                                    mem_port=port, mode=mode)
+        return cls(config, hierarchy.space, mem_port=port, mode=mode)

@@ -376,19 +376,23 @@ def fig20_decoupling_vs_compression(runner: Runner) -> ExperimentResult:
         rows)
 
 
-def fig21_scratchpad(runner: Runner, rows_to_walk: int = 1500
-                     ) -> ExperimentResult:
+def fig21_scratchpad(runner: Runner, rows_to_walk: int = 1500,
+                     mode: str = "event") -> ExperimentResult:
     """Fig 21: fetcher scratchpad size sensitivity (functional engine).
 
     Runs the Fig 3 compressed-CSR traversal of CC's input through the
     *functional* fetcher model at 1/2/4 KB scratchpads, for the
     non-preprocessed and DFS-preprocessed graphs, reporting cycles
     normalized to the 2 KB default (higher = better performance).
+    ``mode`` selects the engine execution mode (the event-driven default
+    skips the idle cycles that dominate this memory-bound sweep; the
+    per-cycle reference produces identical cycle counts).
     """
     import numpy as np
     from repro.config import SpZipConfig
     from repro.dcl import pack_range
     from repro.engine import (
+        DriveRequest,
         INPUT_QUEUE,
         ROWS_QUEUE,
         Fetcher,
@@ -409,15 +413,15 @@ def fig21_scratchpad(runner: Runner, rows_to_walk: int = 1500
             space.alloc_array("payload",
                               np.frombuffer(cc.payload, dtype=np.uint8),
                               "adjacency")
-            fetcher = Fetcher(
+            fetcher = Fetcher.from_program(
+                compressed_csr_traversal(), space,
                 SpZipConfig(scratchpad_bytes=scratch_kb * 1024),
-                space, mem_latency=60)
-            fetcher.load_program(compressed_csr_traversal())
+                mem_latency=60, mode=mode)
             walk = min(rows_to_walk, graph.num_vertices)
-            result = drive(fetcher,
-                           feeds={INPUT_QUEUE: [pack_range(0, walk + 1)]},
-                           consume=[ROWS_QUEUE], dequeues_per_cycle=4,
-                           max_cycles=10 ** 8)
+            result = drive(fetcher, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, walk + 1)]},
+                                                 consume=[ROWS_QUEUE],
+                                                 dequeues_per_cycle=4,
+                                                 max_cycles=10 ** 8))
             cycles_by_size[scratch_kb] = result.cycles
         base = cycles_by_size[2]
         rows.append({

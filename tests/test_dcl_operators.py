@@ -12,7 +12,7 @@ from repro.dcl import (
     unpack_range,
     unpack_tuple,
 )
-from repro.engine import Fetcher, Compressor, drive
+from repro.engine import DriveRequest, Fetcher, Compressor, drive
 from repro.memory import AddressSpace
 
 
@@ -59,8 +59,7 @@ class TestRangeFetchEdgeCases:
 
     def test_empty_range_emits_bare_marker(self):
         fetcher = self.make(range(10), marker_value=7)
-        result = drive(fetcher, feeds={"in": [pack_range(3, 3)]},
-                       consume=["out"])
+        result = drive(fetcher, DriveRequest(feeds={"in": [pack_range(3, 3)]}, consume=["out"]))
         entries = result.outputs["out"]
         assert len(entries) == 1
         assert entries[0].marker
@@ -68,9 +67,8 @@ class TestRangeFetchEdgeCases:
 
     def test_input_marker_passthrough(self):
         fetcher = self.make(range(10))
-        result = drive(fetcher,
-                       feeds={"in": [(5, True), pack_range(0, 2)]},
-                       consume=["out"])
+        result = drive(fetcher, DriveRequest(feeds={"in": [(5, True), pack_range(0, 2)]},
+                                             consume=["out"]))
         entries = result.outputs["out"]
         assert entries[0].marker and entries[0].value == 5
         assert [e.value for e in entries if not e.marker] == [0, 1]
@@ -79,9 +77,8 @@ class TestRangeFetchEdgeCases:
         fetcher = self.make(range(100), use_end_as_next_start=True)
         # boundaries 2,5 -> range [2,5); marker; boundaries 10,11 ->
         # range [10,11) (NOT [5,10)).
-        result = drive(fetcher,
-                       feeds={"in": [2, 5, (0, True), 10, 11]},
-                       consume=["out"])
+        result = drive(fetcher, DriveRequest(feeds={"in": [2, 5, (0, True), 10, 11]},
+                                             consume=["out"]))
         chunks = result.chunks("out")
         values = [v for chunk in chunks for v in chunk]
         assert values == [2, 3, 4, 10]
@@ -98,7 +95,7 @@ class TestCompressOpAutoChunk:
         comp = Compressor(SpZipConfig(), space)
         comp.load_program(p)
         feed = [(v, False) for v in range(10)] + [(0, True)]
-        result = drive(comp, feeds={"in": feed}, consume=["out"])
+        result = drive(comp, DriveRequest(feeds={"in": feed}, consume=["out"]))
         entries = result.outputs["out"]
         markers = [e for e in entries if e.marker]
         # Two auto-closed chunks (len markers) + the passthrough marker.
@@ -117,7 +114,7 @@ class TestCompressOpAutoChunk:
         comp.load_program(p)
         values = [9, 3, 7, 1]
         feed = [(v, False) for v in values] + [(0, True)]
-        result = drive(comp, feeds={"in": feed}, consume=["out"])
+        result = drive(comp, DriveRequest(feeds={"in": feed}, consume=["out"]))
         payload = bytes(e.value for e in result.outputs["out"]
                         if not e.marker)
         decoded = DeltaCodec().decode_stream(payload, np.uint32)
@@ -149,7 +146,7 @@ class TestMemQueueEdgeCases:
         comp, bits = self.make(num_queues=2, flush=3)
         feed = [(pack_tuple(1, v, value_bits=bits), False)
                 for v in (10, 11, 12)]
-        result = drive(comp, feeds={"in": feed}, consume=["out"])
+        result = drive(comp, DriveRequest(feeds={"in": feed}, consume=["out"]))
         entries = result.outputs["out"]
         assert [e.value for e in entries if not e.marker] == [10, 11, 12]
         assert entries[-1].marker and entries[-1].value == 1
@@ -158,7 +155,7 @@ class TestMemQueueEdgeCases:
         comp, bits = self.make(num_queues=2, flush=100)
         feed = [(pack_tuple(0, 42, value_bits=bits), False),
                 (0, True)]  # marker value 0 closes queue 0
-        result = drive(comp, feeds={"in": feed}, consume=["out"])
+        result = drive(comp, DriveRequest(feeds={"in": feed}, consume=["out"]))
         values = [e.value for e in result.outputs["out"] if not e.marker]
         assert values == [42]
 
@@ -175,7 +172,7 @@ class TestMemQueueEdgeCases:
         comp = Compressor(SpZipConfig(), space)
         comp.load_program(p)
         feed = [(pack_tuple(0, v, value_bits=32), False) for v in (5, 6)]
-        drive(comp, feeds={"in": feed}, consume=[])
+        drive(comp, DriveRequest(feeds={"in": feed}, consume=[]))
         assert flushed == [(0, [5, 6])]
 
 
@@ -191,7 +188,7 @@ class TestStreamWriterEdgeCases:
         comp.load_program(p)
         feed = ([(b, False) for b in b"abc"] + [(0, True)]
                 + [(b, False) for b in b"defgh"] + [(0, True)])
-        drive(comp, feeds={"in": feed}, consume=[])
+        drive(comp, DriveRequest(feeds={"in": feed}, consume=[]))
         writer = comp.operators[0]
         assert writer.chunk_lengths == [3, 5]
         assert space.load(space.region("out_region").base, 8) == \

@@ -5,6 +5,7 @@ import numpy as np
 from repro.config import SpZipConfig
 from repro.dcl import pack_range, program_to_dot
 from repro.engine import (
+    DriveRequest,
     INPUT_QUEUE,
     ROWS_QUEUE,
     Fetcher,
@@ -44,8 +45,7 @@ class TestEngineStats:
         space.alloc_array("rows", g.neighbors, "adjacency")
         fetcher = Fetcher(SpZipConfig(), space)
         fetcher.load_program(csr_traversal(row_elem_bytes=4))
-        drive(fetcher, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-              consume=[ROWS_QUEUE])
+        drive(fetcher, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 5)]}, consume=[ROWS_QUEUE]))
         return fetcher
 
     def test_stats_structure(self):

@@ -7,6 +7,7 @@ from repro.compression import DeltaCodec
 from repro.config import SpZipConfig, SystemConfig
 from repro.dcl import pack_tuple
 from repro.engine import (
+    DriveRequest,
     BIN_QUEUE,
     INPUT_QUEUE,
     Compressor,
@@ -37,7 +38,7 @@ class TestSingleStream:
         values = list(range(1000, 1480, 4))  # one 120-element chunk budget
         feed = [(v, False) for v in values[:60]] + [(0, True)] + \
                [(v, False) for v in values[60:]] + [(0, True)]
-        drive(c, feeds={INPUT_QUEUE: feed}, consume=[])
+        drive(c, DriveRequest(feeds={INPUT_QUEUE: feed}, consume=[]))
         writer = find_op(c, "writer")
         assert len(writer.chunk_lengths) == 2
         assert writer.total_written < len(values) * 4
@@ -62,7 +63,7 @@ class TestSingleStream:
             c.load_program(single_stream_compress(chunk_elems=32,
                                                   sort_chunks=sort))
             feed = [(v, False) for v in values] + [(0, True)]
-            drive(c, feeds={INPUT_QUEUE: feed}, consume=[])
+            drive(c, DriveRequest(feeds={INPUT_QUEUE: feed}, consume=[]))
             return find_op(c, "writer").total_written
 
         assert written(sort=True) < written(sort=False)
@@ -75,7 +76,7 @@ class TestSingleStream:
                 for v in rng.integers(0, 2 ** 32, 200, dtype=np.uint64)]
         feed.append((0, True))
         with pytest.raises(Exception):
-            drive(c, feeds={INPUT_QUEUE: feed}, consume=[])
+            drive(c, DriveRequest(feeds={INPUT_QUEUE: feed}, consume=[]))
 
 
 class TestUbBins:
@@ -101,7 +102,7 @@ class TestUbBins:
             v = int(rng.integers(0, 1 << 32))
             truth[b].append(v)
             feed.append((pack_tuple(b, v), False))
-        drive(c, feeds={BIN_QUEUE: feed}, consume=[])
+        drive(c, DriveRequest(feeds={BIN_QUEUE: feed}, consume=[]))
         c.drain()
         append = find_op(c, "append")
         base = space.region("compressed_bins").base
@@ -124,7 +125,7 @@ class TestUbBins:
         values = [int(v) for v in
                   np.random.default_rng(3).integers(0, 1 << 20, 40)]
         feed = [(pack_tuple(0, v), False) for v in values]
-        drive(c, feeds={BIN_QUEUE: feed}, consume=[])
+        drive(c, DriveRequest(feeds={BIN_QUEUE: feed}, consume=[]))
         c.drain()
         append = find_op(c, "append")
         payload = space.load(space.region("compressed_bins").base,
@@ -135,7 +136,7 @@ class TestUbBins:
     def test_drain_flushes_partial_bins(self):
         c, _space = self.make(nbins=2, chunk_elems=32)
         feed = [(pack_tuple(0, 5), False), (pack_tuple(1, 9), False)]
-        drive(c, feeds={BIN_QUEUE: feed}, consume=[])
+        drive(c, DriveRequest(feeds={BIN_QUEUE: feed}, consume=[]))
         stage = find_op(c, "stage")
         assert stage.pending_elems() == 2
         c.drain()
@@ -146,7 +147,7 @@ class TestUbBins:
     def test_mqu_charges_pointer_and_value_traffic(self):
         c, _space = self.make(nbins=2)
         feed = [(pack_tuple(0, 1), False)]
-        drive(c, feeds={BIN_QUEUE: feed}, consume=[])
+        drive(c, DriveRequest(feeds={BIN_QUEUE: feed}, consume=[]))
         assert c.mem_reads >= 1   # tail pointer read
         assert c.mem_writes >= 1  # value write
 
@@ -157,7 +158,7 @@ class TestUbBins:
         c = Compressor.for_core(hier, core=0)
         c.load_program(ub_bins_compress(2, chunk_elems=4))
         feed = [(pack_tuple(0, v), False) for v in range(8)]
-        drive(c, feeds={BIN_QUEUE: feed}, consume=[])
+        drive(c, DriveRequest(feeds={BIN_QUEUE: feed}, consume=[]))
         c.drain()
         assert hier.l2[0].stats.accesses == 0
         assert hier.llc.stats.accesses > 0
@@ -172,5 +173,5 @@ class TestUbBins:
         feed = [(pack_tuple(0, int(v)), False)
                 for v in rng.integers(0, 1 << 60, 64, dtype=np.uint64)]
         with pytest.raises(Exception):
-            drive(c, feeds={BIN_QUEUE: feed}, consume=[])
+            drive(c, DriveRequest(feeds={BIN_QUEUE: feed}, consume=[]))
             c.drain()

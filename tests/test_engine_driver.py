@@ -1,39 +1,71 @@
 """Tests for the core<->engine co-simulation driver and the scheduler."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.config import SpZipConfig
-from repro.dcl import Entry, MarkerQueue, RoundRobinScheduler, \
+from repro.dcl import Entry, MarkerQueue, NEVER, RoundRobinScheduler, \
     pack_range
 from repro.engine import (
     INPUT_QUEUE,
+    MODE_CYCLE,
+    MODE_EVENT,
     ROWS_QUEUE,
+    DriveRequest,
     EngineStall,
+    Feed,
     Fetcher,
     csr_traversal,
     drive,
 )
-from repro.engine.driver import DriveResult, _normalize_feed
+from repro.engine.driver import DriveResult
 from repro.graph import CsrGraph
 from repro.memory import AddressSpace
 
 
-def tiny_fetcher():
+def tiny_fetcher(**kwargs):
     g = CsrGraph(np.array([0, 2, 4, 5, 7]),
                  np.array([1, 2, 0, 2, 3, 1, 2], dtype=np.uint32))
     space = AddressSpace()
     space.alloc_array("offsets", g.offsets, "adjacency")
     space.alloc_array("rows", g.neighbors, "adjacency")
-    f = Fetcher(SpZipConfig(), space)
-    f.load_program(csr_traversal(row_elem_bytes=4))
-    return f
+    return Fetcher.from_program(csr_traversal(row_elem_bytes=4), space,
+                                SpZipConfig(), **kwargs)
 
 
-class TestFeedNormalization:
-    def test_accepts_ints_tuples_entries(self):
-        out = _normalize_feed([5, (6, True), Entry(7, False)])
-        assert out == [(5, False), (6, True), (7, False)]
+class TestFeed:
+    def test_of_accepts_ints_tuples_entries_feeds(self):
+        assert Feed.of(5) == Feed(5, False)
+        assert Feed.of((6, True)) == Feed(6, True)
+        assert Feed.of(Entry(7, False)) == Feed(7, False)
+        assert Feed.of(Feed(8, True)) == Feed(8, True)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Feed(1).value = 2
+
+
+class TestDriveRequest:
+    def test_normalizes_feed_spellings(self):
+        req = DriveRequest(feeds={"q": [5, (6, True), Entry(7)]},
+                           consume=["out"])
+        assert req.feeds["q"] == (Feed(5), Feed(6, True), Feed(7))
+        assert req.consume == ("out",)
+
+    def test_frozen(self):
+        req = DriveRequest()
+        with pytest.raises(AttributeError):
+            req.max_cycles = 5
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            DriveRequest(mode="warp")
+
+    def test_rejects_bad_dequeue_rate(self):
+        with pytest.raises(ValueError):
+            DriveRequest(dequeues_per_cycle=0)
 
 
 class TestDriveResult:
@@ -62,20 +94,89 @@ class TestDriveResult:
 class TestDrive:
     def test_slow_consumer_still_completes(self):
         f = tiny_fetcher()
-        result = drive(f, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-                       consume=[ROWS_QUEUE], dequeues_per_cycle=1)
+        result = drive(f, DriveRequest(
+            feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+            consume=[ROWS_QUEUE], dequeues_per_cycle=1))
         assert result.chunks(ROWS_QUEUE) == [[1, 2], [0, 2], [3], [1, 2]]
 
     def test_no_feeds_drains_immediately(self):
         f = tiny_fetcher()
-        result = drive(f, consume=[ROWS_QUEUE])
+        result = drive(f, DriveRequest(consume=[ROWS_QUEUE]))
         assert result.outputs[ROWS_QUEUE] == []
 
     def test_cycle_budget_enforced(self):
         f = tiny_fetcher()
         with pytest.raises(EngineStall):
-            drive(f, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-                  consume=[ROWS_QUEUE], max_cycles=3)
+            drive(f, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+                                  consume=[ROWS_QUEUE], max_cycles=3))
+
+    def test_result_carries_scheduler_stats(self):
+        result = drive(tiny_fetcher(), DriveRequest(
+            feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+            consume=[ROWS_QUEUE]))
+        assert result.issued == sum(result.fires_by_op.values()) > 0
+        assert result.cycles == result.issued + result.idle_cycles
+        assert 0.0 < result.activity_factor <= 1.0
+        assert result.mode == MODE_EVENT
+
+    def test_mode_override_per_request(self):
+        result = drive(tiny_fetcher(), DriveRequest(
+            feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+            consume=[ROWS_QUEUE], mode=MODE_CYCLE))
+        assert result.mode == MODE_CYCLE
+        assert result.skipped_idle_cycles == 0
+
+
+class TestDeprecatedShim:
+    """drive(engine, feeds=..., consume=...) must keep working."""
+
+    def test_keyword_form_warns_and_matches(self):
+        new = drive(tiny_fetcher(), DriveRequest(
+            feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+            consume=[ROWS_QUEUE], dequeues_per_cycle=1))
+        with pytest.warns(DeprecationWarning):
+            old = drive(tiny_fetcher(),
+                        feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+                        consume=[ROWS_QUEUE], dequeues_per_cycle=1)
+        assert old.cycles == new.cycles
+        assert old.outputs == new.outputs
+
+    def test_positional_feeds_dict_still_accepted(self):
+        with pytest.warns(DeprecationWarning):
+            old = drive(tiny_fetcher(),
+                        {INPUT_QUEUE: [pack_range(0, 5)]}, [ROWS_QUEUE])
+        assert old.chunks(ROWS_QUEUE) == [[1, 2], [0, 2], [3], [1, 2]]
+
+    def test_request_form_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            drive(tiny_fetcher(), DriveRequest(
+                feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+                consume=[ROWS_QUEUE]))
+
+
+class TestFromProgram:
+    def test_from_program_equivalent_to_manual_wiring(self):
+        g = CsrGraph(np.array([0, 2, 4, 5, 7]),
+                     np.array([1, 2, 0, 2, 3, 1, 2], dtype=np.uint32))
+        space = AddressSpace()
+        space.alloc_array("offsets", g.offsets, "adjacency")
+        space.alloc_array("rows", g.neighbors, "adjacency")
+        manual = Fetcher(SpZipConfig(), space)
+        manual.load_program(csr_traversal(row_elem_bytes=4))
+        built = Fetcher.from_program(csr_traversal(row_elem_bytes=4),
+                                     space, SpZipConfig())
+        req = DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+                           consume=[ROWS_QUEUE])
+        assert drive(manual, req).cycles == drive(built, req).cycles
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            tiny_fetcher(mode="bogus")
+
+    def test_mode_stored(self):
+        assert tiny_fetcher(mode=MODE_CYCLE).mode == MODE_CYCLE
+        assert tiny_fetcher().mode == MODE_EVENT
 
 
 class TestRoundRobinScheduler:
@@ -122,6 +223,47 @@ class TestRoundRobinScheduler:
             sched.pick(None)
         assert sched.fires_by_op == {"a": 2, "b": 2, "never": 0}
         assert sched.issued == 4
+
+    def test_pick_sole_matches_pick_accounting(self):
+        a = self.FakeOp("a", [False] * 10)
+        b = self.FakeOp("b", [True] * 10)
+        sched = RoundRobinScheduler([a, b])
+        op = sched.pick_sole(None)
+        assert op is b
+        assert sched.issued == 1
+        assert sched.fires_by_op == {"a": 0, "b": 1}
+        # pointer advanced past b: next pick scans a first again
+        assert sched.pick(None) is b
+
+    def test_pick_sole_refuses_contended_cycles(self):
+        a = self.FakeOp("a", [True] * 4)
+        b = self.FakeOp("b", [True] * 4)
+        sched = RoundRobinScheduler([a, b])
+        assert sched.pick_sole(None) is None
+        assert sched.issued == 0
+        assert sched.idle_cycles == 0  # caller falls back to pick()
+
+    def test_pick_sole_none_when_nothing_ready(self):
+        a = self.FakeOp("a", [False])
+        sched = RoundRobinScheduler([a])
+        assert sched.pick_sole(None) is None
+        assert sched.idle_cycles == 0
+
+    def test_skip_idle_books_both_counters(self):
+        sched = RoundRobinScheduler([self.FakeOp("a", [True])])
+        sched.pick(None)
+        sched.skip_idle(7)
+        assert sched.idle_cycles == 7
+        assert sched.skipped_idle_cycles == 7
+        assert sched.activity_factor() == pytest.approx(1 / 8)
+
+    def test_skip_idle_rejects_negative(self):
+        sched = RoundRobinScheduler([])
+        with pytest.raises(ValueError):
+            sched.skip_idle(-1)
+
+    def test_next_ready_cycle_defaults_to_never(self):
+        assert RoundRobinScheduler([]).next_ready_cycle(None) == NEVER
 
 
 class TestQueueReservations:

@@ -7,6 +7,7 @@ from repro.compression import RleCodec
 from repro.config import SpZipConfig, SystemConfig
 from repro.dcl import Program, pack_range
 from repro.engine import (
+    DriveRequest,
     ACTIVE_QUEUE,
     CONTRIBS_QUEUE,
     INPUT_QUEUE,
@@ -44,16 +45,14 @@ class TestCsrTraversal:
         g = fig1_matrix()
         f = Fetcher(SpZipConfig(), plain_space(g))
         f.load_program(csr_traversal(row_elem_bytes=4))
-        res = drive(f, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-                    consume=[ROWS_QUEUE])
+        res = drive(f, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 5)]}, consume=[ROWS_QUEUE]))
         assert res.chunks(ROWS_QUEUE) == [[1, 2], [0, 2], [3], [1, 2]]
 
     def test_partial_range(self):
         g = fig1_matrix()
         f = Fetcher(SpZipConfig(), plain_space(g))
         f.load_program(csr_traversal(row_elem_bytes=4))
-        res = drive(f, feeds={INPUT_QUEUE: [pack_range(1, 4)]},
-                    consume=[ROWS_QUEUE])
+        res = drive(f, DriveRequest(feeds={INPUT_QUEUE: [pack_range(1, 4)]}, consume=[ROWS_QUEUE]))
         assert res.chunks(ROWS_QUEUE) == [[0, 2], [3]]
 
     def test_empty_row_yields_bare_marker(self):
@@ -61,17 +60,16 @@ class TestCsrTraversal:
                      np.array([1, 2, 0], dtype=np.uint32))
         f = Fetcher(SpZipConfig(), plain_space(g))
         f.load_program(csr_traversal(row_elem_bytes=4))
-        res = drive(f, feeds={INPUT_QUEUE: [pack_range(0, 4)]},
-                    consume=[ROWS_QUEUE])
+        res = drive(f, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 4)]}, consume=[ROWS_QUEUE]))
         assert res.chunks(ROWS_QUEUE) == [[1, 2], [], [0]]
 
     def test_traversal_on_generated_graph(self):
         g = community_graph(300, 2400, seed_stream="fetch-test")
         f = Fetcher(SpZipConfig(), plain_space(g))
         f.load_program(csr_traversal(row_elem_bytes=4))
-        res = drive(f, feeds={INPUT_QUEUE: [pack_range(0,
-                                                       g.num_vertices + 1)]},
-                    consume=[ROWS_QUEUE], max_cycles=10 ** 7)
+        res = drive(f, DriveRequest(
+            feeds={INPUT_QUEUE: [pack_range(0, g.num_vertices + 1)]},
+            consume=[ROWS_QUEUE], max_cycles=10 ** 7))
         chunks = res.chunks(ROWS_QUEUE)
         assert len(chunks) == g.num_vertices
         for v in range(g.num_vertices):
@@ -91,8 +89,7 @@ class TestCompressedTraversal:
                           "adjacency")
         f = Fetcher(SpZipConfig(), space)
         f.load_program(compressed_csr_traversal())
-        res = drive(f, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-                    consume=[ROWS_QUEUE])
+        res = drive(f, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 5)]}, consume=[ROWS_QUEUE]))
         assert res.chunks(ROWS_QUEUE) == [[1, 2], [0, 2], [3], [1, 2]]
 
     def test_alternate_codec(self):
@@ -105,8 +102,7 @@ class TestCompressedTraversal:
                           "adjacency")
         f = Fetcher(SpZipConfig(), space)
         f.load_program(compressed_csr_traversal(codec=RleCodec()))
-        res = drive(f, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-                    consume=[ROWS_QUEUE])
+        res = drive(f, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 5)]}, consume=[ROWS_QUEUE]))
         assert res.chunks(ROWS_QUEUE) == [[1, 2], [0, 2], [3], [1, 2]]
 
 
@@ -136,10 +132,10 @@ class TestPageRankPipeline:
     @pytest.mark.parametrize("compressed", [False, True])
     def test_neighbors_and_contribs(self, compressed):
         fetcher, _hier, contribs = self.make(compressed)
-        res = drive(fetcher,
-                    feeds={INPUT_QUEUE: [pack_range(0, 4)],
-                           OFFSETS_INPUT_QUEUE: [pack_range(0, 5)]},
-                    consume=[NEIGH_QUEUE, CONTRIBS_QUEUE])
+        res = drive(fetcher, DriveRequest(
+            feeds={INPUT_QUEUE: [pack_range(0, 4)],
+                   OFFSETS_INPUT_QUEUE: [pack_range(0, 5)]},
+            consume=[NEIGH_QUEUE, CONTRIBS_QUEUE]))
         assert res.chunks(NEIGH_QUEUE) == [[1, 2], [0, 2], [3], [1, 2]]
         got = np.frombuffer(np.array(res.values(CONTRIBS_QUEUE),
                                      dtype=np.uint64).tobytes(),
@@ -148,16 +144,18 @@ class TestPageRankPipeline:
 
     def test_prefetch_touches_destination_data(self):
         fetcher, hier, _ = self.make(compressed=False)
-        drive(fetcher, feeds={INPUT_QUEUE: [pack_range(0, 4)],
-                              OFFSETS_INPUT_QUEUE: [pack_range(0, 5)]},
-              consume=[NEIGH_QUEUE, CONTRIBS_QUEUE])
+        drive(fetcher, DriveRequest(
+            feeds={INPUT_QUEUE: [pack_range(0, 4)],
+                   OFFSETS_INPUT_QUEUE: [pack_range(0, 5)]},
+            consume=[NEIGH_QUEUE, CONTRIBS_QUEUE]))
         assert hier.traffic_by_class()["destination_vertex"] > 0
 
     def test_fetcher_issues_to_l2_not_l1(self):
         fetcher, hier, _ = self.make(compressed=False)
-        drive(fetcher, feeds={INPUT_QUEUE: [pack_range(0, 4)],
-                              OFFSETS_INPUT_QUEUE: [pack_range(0, 5)]},
-              consume=[NEIGH_QUEUE, CONTRIBS_QUEUE])
+        drive(fetcher, DriveRequest(
+            feeds={INPUT_QUEUE: [pack_range(0, 4)],
+                   OFFSETS_INPUT_QUEUE: [pack_range(0, 5)]},
+            consume=[NEIGH_QUEUE, CONTRIBS_QUEUE]))
         assert hier.l1[0].stats.accesses == 0
         assert hier.l2[0].stats.accesses > 0
 
@@ -176,8 +174,8 @@ class TestBfsPipeline:
                           "destination_vertex")
         f = Fetcher(SpZipConfig(), space)
         f.load_program(bfs_push())
-        res = drive(f, feeds={INPUT_QUEUE: [pack_range(0, 2)]},
-                    consume=[NEIGH_QUEUE, ACTIVE_QUEUE])
+        res = drive(f, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 2)]},
+                                    consume=[NEIGH_QUEUE, ACTIVE_QUEUE]))
         assert res.values(ACTIVE_QUEUE) == [0, 3]
         assert res.chunks(NEIGH_QUEUE) == [[1, 2], [1, 2]]
 
@@ -229,10 +227,11 @@ class TestEngineMechanics:
             f = Fetcher(SpZipConfig(scratchpad_bytes=scratch),
                         plain_space(g), mem_latency=60)
             f.load_program(csr_traversal(row_elem_bytes=4))
-            res = drive(f, feeds={INPUT_QUEUE:
-                                  [pack_range(0, g.num_vertices + 1)]},
-                        consume=[ROWS_QUEUE], dequeues_per_cycle=4,
-                        max_cycles=10 ** 7)
+            res = drive(f, DriveRequest(
+                feeds={INPUT_QUEUE:
+                       [pack_range(0, g.num_vertices + 1)]},
+                consume=[ROWS_QUEUE], dequeues_per_cycle=4,
+                max_cycles=10 ** 7))
             return res.cycles
 
         assert run(2048) <= run(256) * 1.05
@@ -246,10 +245,11 @@ class TestEngineMechanics:
             config = SpZipConfig(au_outstanding_lines=outstanding)
             f = Fetcher(config, plain_space(g), mem_latency=60)
             f.load_program(csr_traversal(row_elem_bytes=4))
-            res = drive(f, feeds={INPUT_QUEUE:
-                                  [pack_range(0, g.num_vertices + 1)]},
-                        consume=[ROWS_QUEUE], dequeues_per_cycle=8,
-                        max_cycles=10 ** 7)
+            res = drive(f, DriveRequest(
+                feeds={INPUT_QUEUE:
+                       [pack_range(0, g.num_vertices + 1)]},
+                consume=[ROWS_QUEUE], dequeues_per_cycle=8,
+                max_cycles=10 ** 7))
             return res.cycles
 
         assert run(8) < run(1) / 3

@@ -2,7 +2,7 @@
 
 from repro.config import SpZipConfig
 from repro.dcl import pack_range
-from repro.engine import Fetcher, drive
+from repro.engine import DriveRequest, Fetcher, drive
 from repro.engine.format_pipelines import (
     COO_COLS_QUEUE,
     COO_ROWS_QUEUE,
@@ -31,11 +31,11 @@ class TestCooTraversal:
         space.alloc_array("coo_cols_arr", coo.cols, "adjacency")
         fetcher = Fetcher(SpZipConfig(), space)
         fetcher.load_program(coo_traversal())
-        result = drive(fetcher,
-                       feeds={"input_rows": [pack_range(0, coo.nnz)],
-                              "input_cols": [pack_range(0, coo.nnz)]},
-                       consume=[COO_ROWS_QUEUE, COO_COLS_QUEUE],
-                       max_cycles=10 ** 7)
+        result = drive(fetcher, DriveRequest(
+            feeds={"input_rows": [pack_range(0, coo.nnz)],
+                   "input_cols": [pack_range(0, coo.nnz)]},
+            consume=[COO_ROWS_QUEUE, COO_COLS_QUEUE],
+            max_cycles=10 ** 7))
         rows = result.values(COO_ROWS_QUEUE)
         cols = result.values(COO_COLS_QUEUE)
         assert rows == coo.rows.tolist()
@@ -54,10 +54,10 @@ class TestDcsrTraversal:
         fetcher = Fetcher(SpZipConfig(), space)
         fetcher.load_program(dcsr_traversal())
         n = dcsr.num_stored_rows
-        result = drive(fetcher,
-                       feeds={"input_ids": [pack_range(0, n)],
-                              "input_offsets": [pack_range(0, n + 1)]},
-                       consume=[DCSR_ROWIDS_QUEUE, DCSR_COLS_QUEUE])
+        result = drive(fetcher, DriveRequest(
+            feeds={"input_ids": [pack_range(0, n)],
+                   "input_offsets": [pack_range(0, n + 1)]},
+            consume=[DCSR_ROWIDS_QUEUE, DCSR_COLS_QUEUE]))
         assert result.values(DCSR_ROWIDS_QUEUE) == [3, 20, 41]
         chunks = result.chunks(DCSR_COLS_QUEUE)
         assert chunks == [[10, 30], [5], [1, 2, 3]]
@@ -74,8 +74,7 @@ class TestEllTraversal:
         fetcher.load_program(ell_traversal())
         feeds = [pack_range(v * ell.width, (v + 1) * ell.width)
                  for v in range(ell.num_rows)]
-        result = drive(fetcher, feeds={"input": feeds},
-                       consume=[ELL_COLS_QUEUE])
+        result = drive(fetcher, DriveRequest(feeds={"input": feeds}, consume=[ELL_COLS_QUEUE]))
         chunks = result.chunks(ELL_COLS_QUEUE)
         pad = int(EllMatrix.PAD)
         assert len(chunks) == 4

@@ -12,6 +12,7 @@ from repro.compression import DeltaCodec
 from repro.config import SpZipConfig, SystemConfig
 from repro.dcl import pack_range
 from repro.engine import (
+    DriveRequest,
     INPUT_QUEUE,
     ROWS_QUEUE,
     Fetcher,
@@ -42,11 +43,10 @@ class TestEngineVsAnalyticModel:
             "adjacency")
         fetcher = Fetcher.for_core(hier, core=0)
         fetcher.load_program(compressed_csr_traversal())
-        drive(fetcher,
-              feeds={INPUT_QUEUE: [pack_range(0, graph.num_vertices
-                                              + 1)]},
-              consume=[ROWS_QUEUE], dequeues_per_cycle=8,
-              max_cycles=10 ** 8)
+        drive(fetcher, DriveRequest(
+            feeds={INPUT_QUEUE: [pack_range(0, graph.num_vertices + 1)]},
+            consume=[ROWS_QUEUE], dequeues_per_cycle=8,
+            max_cycles=10 ** 8))
         traffic = hier.traffic_by_class()["adjacency"]
         expected = compressed.payload_bytes + compressed.offsets.size * 8
         # Line granularity and cold-miss rounding inflate both ways.
@@ -70,12 +70,11 @@ class TestEngineVsAnalyticModel:
                 space.alloc_array(name, data, cls)
             fetcher = Fetcher(SpZipConfig(), space)
             fetcher.load_program(program)
-            result = drive(fetcher,
-                           feeds={INPUT_QUEUE:
-                                  [pack_range(0, graph.num_vertices
-                                              + 1)]},
-                           consume=[ROWS_QUEUE], dequeues_per_cycle=8,
-                           max_cycles=10 ** 8)
+            result = drive(fetcher, DriveRequest(
+                feeds={INPUT_QUEUE:
+                       [pack_range(0, graph.num_vertices + 1)]},
+                consume=[ROWS_QUEUE], dequeues_per_cycle=8,
+                max_cycles=10 ** 8))
             return result.chunks(ROWS_QUEUE)
 
         plain = run(csr_traversal(row_elem_bytes=4),
@@ -101,10 +100,10 @@ class TestEngineVsAnalyticModel:
                                         dtype=np.uint8), "adjacency")
         fetcher = Fetcher(SpZipConfig(), space, mem_latency=40)
         fetcher.load_program(compressed_csr_traversal())
-        drive(fetcher,
-              feeds={INPUT_QUEUE: [pack_range(0, 200)]},
-              consume=[ROWS_QUEUE], dequeues_per_cycle=2,
-              max_cycles=10 ** 7)
+        drive(fetcher, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 200)]},
+                                    consume=[ROWS_QUEUE],
+                                    dequeues_per_cycle=2,
+                                    max_cycles=10 ** 7))
         activity = fetcher.scheduler.activity_factor()
         assert 0.05 < activity < 0.95
 

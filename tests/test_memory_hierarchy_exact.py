@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.config import SystemConfig
 from repro.dcl import pack_range
-from repro.engine import Fetcher, INPUT_QUEUE, ROWS_QUEUE, \
+from repro.engine import DriveRequest, Fetcher, INPUT_QUEUE, ROWS_QUEUE, \
     csr_traversal, drive
 from repro.graph import CsrGraph
 from repro.graph.idspace import expand_ids
@@ -51,8 +51,8 @@ class TestExactHierarchy:
         hier.space.alloc_array("rows", g.neighbors, "adjacency")
         fetcher = Fetcher.for_core(hier, core=0)
         fetcher.load_program(csr_traversal(row_elem_bytes=4))
-        result = drive(fetcher, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-                       consume=[ROWS_QUEUE])
+        result = drive(fetcher, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+                                             consume=[ROWS_QUEUE]))
         assert result.chunks(ROWS_QUEUE) == [[1, 2], [0, 2], [3],
                                              [1, 2]]
         assert hier.offchip_bytes() > 0

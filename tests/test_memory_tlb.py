@@ -5,7 +5,7 @@ import pytest
 
 from repro.config import SpZipConfig
 from repro.dcl import pack_range
-from repro.engine import Fetcher, INPUT_QUEUE, ROWS_QUEUE, csr_traversal, \
+from repro.engine import DriveRequest, Fetcher, INPUT_QUEUE, ROWS_QUEUE, csr_traversal, \
     drive
 from repro.graph import CsrGraph
 from repro.memory import AddressSpace, PageFault, PageTable, Tlb, \
@@ -135,8 +135,8 @@ class TestEngineWithTranslation:
         port = TranslatingPort(lambda a, n, w: 15, tlb, table)
         fetcher = Fetcher(SpZipConfig(), space, mem_port=port)
         fetcher.load_program(csr_traversal(row_elem_bytes=4))
-        result = drive(fetcher, feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-                       consume=[ROWS_QUEUE])
+        result = drive(fetcher, DriveRequest(feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+                                             consume=[ROWS_QUEUE]))
         assert result.chunks(ROWS_QUEUE) == [[1, 2], [0, 2], [3], [1, 2]]
         assert tlb.misses >= 1
         assert tlb.hits > tlb.misses  # translations are reused
