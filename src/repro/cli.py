@@ -31,12 +31,20 @@ Commands:
     Summarize the latest orchestrated run's JSONL telemetry (per-job
     timing, cache hits, retries) and the result cache's state.
 
+``serve [--host H] [--port P] [--workers N] [--cache-dir DIR]``
+    Run the simulation-as-a-service HTTP/JSON front end (price/
+    simulate/sweep endpoints, request coalescing, tiered result store)
+    until SIGINT/SIGTERM; shuts down gracefully, draining in-flight
+    requests.  See docs/SERVING.md.
+
 ``perf diff <baseline> --against <current> [--threshold X]``
     Compare two timing files (bench JSON or trace JSONL) and exit
     nonzero when any shared metric regressed past the threshold.
 
-``perf summary <trace.jsonl>``
-    Aggregate a span trace per name (calls, seconds, count).
+``perf summary <trace.jsonl | bench.json>``
+    Aggregate a span trace per name (calls, seconds, count), or list a
+    benchmark JSON's flat timing metrics (including latency
+    percentiles).
 
 ``experiment``/``simulate``/``report`` additionally accept
 ``--trace PATH`` to record a hierarchical span trace of the run as
@@ -213,9 +221,57 @@ def _cmd_jobs(args) -> int:
         status = 1
     cache = ResultCache(args.cache_dir)
     stats = cache.stats()
+    dropped = "" if not stats["corrupt_dropped"] else \
+        f", {stats['corrupt_dropped']} corrupt entr(ies) dropped"
     print(f"cache:     {stats['entries']} entries, "
-          f"{stats['bytes'] / 1024:.1f} KiB under {cache.root}")
+          f"{stats['bytes'] / 1024:.1f} KiB under {cache.root}"
+          f"{dropped}")
     return status
+
+
+def _cmd_serve(args) -> int:
+    """Run the asyncio serving front end until interrupted."""
+    import asyncio
+    import signal
+
+    from repro.jobs.cache import NullCache, ResultCache
+    from repro.serve import ServeApp, ServeServer, TieredStore
+
+    disk = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    store = TieredStore(disk, hot_capacity=args.hot_capacity)
+    app = ServeApp(scale=args.scale, store=store, workers=args.workers,
+                   admission_limit=args.max_concurrency)
+
+    async def run() -> bool:
+        server = await ServeServer(app, args.host, args.port).start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix event loop; Ctrl-C still raises
+        print(f"serving on {server.url} (scale={app.scale}, "
+              f"workers={app.workers}, "
+              f"cache={'off' if args.no_cache else args.cache_dir})",
+              file=sys.stderr)
+        try:
+            drained = await server.serve_until(
+                stop, drain_timeout=args.drain_timeout)
+        except asyncio.CancelledError:
+            drained = await server.shutdown(args.drain_timeout)
+        print(f"shutdown: "
+              f"{'drained' if drained else 'drain timed out'}; "
+              f"{app.computes} computation(s), "
+              f"{app.flight.followers} coalesced request(s)",
+              file=sys.stderr)
+        return drained
+
+    try:
+        drained = asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+    return 0 if drained else 1
 
 
 def _cmd_perf(args) -> int:
@@ -228,7 +284,18 @@ def _cmd_perf(args) -> int:
     )
     if args.perf_command == "summary":
         try:
-            print(render_trace_summary(args.trace))
+            if args.trace.endswith(".jsonl"):
+                print(render_trace_summary(args.trace))
+            else:
+                # Bench JSON: the flat timing view perf diff compares,
+                # including serve-style latency percentiles (p50/p99).
+                timings = load_timings(args.trace)
+                if not timings:
+                    raise ValueError("no timing metrics found")
+                width = max(len(name) for name in timings)
+                print(f"timing metrics in {args.trace}:")
+                for name in sorted(timings):
+                    print(f"  {name:{width}s} {timings[name]:12.6f}s")
         except (OSError, ValueError) as err:
             print(f"cannot summarize {args.trace!r}: {err}",
                   file=sys.stderr)
@@ -362,6 +429,31 @@ def build_parser() -> argparse.ArgumentParser:
                            "latest under the cache dir)")
     jobs.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
 
+    serve = sub.add_parser("serve",
+                           help="run the HTTP/JSON serving front end")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="listen port (0 picks a free port)")
+    serve.add_argument("--workers", type=_positive_int, default=4,
+                       help="compute pool threads")
+    serve.add_argument("--max-concurrency", type=_positive_int,
+                       default=None,
+                       help="admission limit (default: --workers)")
+    serve.add_argument("--scale", type=int, default=4096)
+    serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help="on-disk tier of the result store")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve from the in-process hot tier only")
+    serve.add_argument("--hot-capacity", type=_positive_int,
+                       default=1024,
+                       help="hot-tier LRU entry bound")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to wait for in-flight requests "
+                            "on shutdown")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a span trace (JSONL) of the "
+                            "server's lifetime on shutdown")
+
     perf = sub.add_parser("perf",
                           help="timing diffs and trace summaries")
     perf_sub = perf.add_subparsers(dest="perf_command", required=True)
@@ -398,6 +490,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "traverse": _cmd_traverse,
         "report": _cmd_report,
         "jobs": _cmd_jobs,
+        "serve": _cmd_serve,
         "perf": _cmd_perf,
     }
     trace_path = getattr(args, "trace", None) \

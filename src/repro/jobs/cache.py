@@ -35,6 +35,9 @@ class ResultCache:
                  ) -> None:
         self.root = root
         self.on_error = on_error
+        #: Unreadable/undecodable entries dropped by :meth:`get` since
+        #: construction — the store's corruption telemetry counter.
+        self.corrupt_dropped = 0
         self._objects = os.path.join(root, "objects")
 
     def _report(self, message: str) -> None:
@@ -49,15 +52,22 @@ class ResultCache:
         return os.path.join(self._objects, key[:2], f"{key}.pkl")
 
     def get(self, key: str) -> Optional[Any]:
-        """Stored object for ``key``, or None on miss/corruption."""
+        """Stored object for ``key``, or None on miss/corruption.
+
+        Any failure to read *or* decode an entry — truncation, torn
+        bytes, a pickle referencing renamed code — is a miss, never an
+        exception: the bad file is deleted, the drop is counted in
+        :attr:`corrupt_dropped`, and the event is reported through
+        ``on_error``.  Live traffic must not die on a bad cache file.
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
         except FileNotFoundError:
             return None
-        except (pickle.UnpicklingError, EOFError, OSError,
-                AttributeError) as exc:
+        except Exception as exc:
+            self.corrupt_dropped += 1
             self._report(f"dropping unreadable entry {key} ({exc!r})")
             try:
                 os.remove(path)
@@ -94,7 +104,7 @@ class ResultCache:
         return sorted(found)
 
     def stats(self) -> Dict[str, int]:
-        """Entry count and total size in bytes."""
+        """Entry count, total size in bytes, and corruption drops."""
         entries, nbytes = 0, 0
         for dirpath, _dirnames, filenames in os.walk(self._objects):
             for name in filenames:
@@ -102,7 +112,8 @@ class ResultCache:
                     entries += 1
                     nbytes += os.path.getsize(os.path.join(dirpath,
                                                            name))
-        return {"entries": entries, "bytes": nbytes}
+        return {"entries": entries, "bytes": nbytes,
+                "corrupt_dropped": self.corrupt_dropped}
 
     def prune(self, live_keys) -> Tuple[int, int]:
         """Drop entries not in ``live_keys``; returns (kept, removed)."""
@@ -126,6 +137,7 @@ class NullCache:
 
     root = None
     on_error: Optional[Callable[[str], None]] = None
+    corrupt_dropped = 0
 
     @property
     def enabled(self) -> bool:
@@ -141,4 +153,4 @@ class NullCache:
         return []
 
     def stats(self) -> Dict[str, int]:
-        return {"entries": 0, "bytes": 0}
+        return {"entries": 0, "bytes": 0, "corrupt_dropped": 0}

@@ -24,8 +24,8 @@ from repro.config import SystemConfig
 from repro.jobs.model import JobSpec
 
 #: Top-level entries under ``src/repro`` that cannot change simulation
-#: results: orchestration, rendering, and interface layers.
-_SALT_EXCLUDE = {"jobs", "harness", "cli.py", "__main__.py"}
+#: results: orchestration, rendering, serving, and interface layers.
+_SALT_EXCLUDE = {"jobs", "harness", "serve", "cli.py", "__main__.py"}
 
 
 @lru_cache(maxsize=1)

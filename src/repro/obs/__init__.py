@@ -12,6 +12,7 @@ See docs/OBSERVABILITY.md for the span model and trace schema.
 from repro.obs.diff import (
     Regression,
     diff_timings,
+    is_timing_key,
     load_timings,
     perf_diff,
     render_diff,
@@ -38,6 +39,7 @@ __all__ = [
     "TRACER",
     "Tracer",
     "diff_timings",
+    "is_timing_key",
     "load_timings",
     "merge_traces",
     "perf_diff",

@@ -6,10 +6,13 @@ timing metric whose current value exceeds ``threshold x`` the baseline.
 Either side may be:
 
 * a benchmark JSON (``BENCH_pr2.json`` style): every numeric leaf whose
-  key ends in ``_s`` or equals ``seconds`` is a timing metric, addressed
-  by its ``section/key`` path (e.g. ``push_scatter_binned/batch_s``);
-  an embedded ``trace_summary`` section contributes
-  ``trace_summary/<span name>/seconds`` metrics;
+  key ends in ``_s``, equals ``seconds``, or is a latency percentile
+  (``p50`` / ``p95`` / ``p99`` / ``p99.9`` ... — the
+  ``BENCH_serve.json`` schema) is a timing metric, addressed by its
+  ``section/key`` path (e.g. ``push_scatter_binned/batch_s`` or
+  ``duplicate_heavy/latency/p99``); an embedded ``trace_summary``
+  section contributes ``trace_summary/<span name>/seconds`` metrics —
+  so serve-latency regressions gate exactly the way throughput ones do;
 * a span trace JSONL (``--trace`` output): per-span-name total seconds,
   addressed as ``trace_summary/<span name>/seconds`` so traces diff
   cleanly against benchmark files that embed a trace summary.
@@ -21,11 +24,22 @@ forward-compatible as benchmarks grow sections.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 #: Below this many seconds a metric is noise, not a regression signal.
 MIN_BASELINE_SECONDS = 1e-6
+
+#: Latency-percentile keys (``p50``, ``p95``, ``p99.9`` ...) are timing
+#: metrics in seconds — the ``BENCH_serve.json`` latency schema.
+_PERCENTILE_KEY = re.compile(r"^p\d{1,2}(\.\d+)?$")
+
+
+def is_timing_key(key: str) -> bool:
+    """Does this JSON key name a seconds-valued timing metric?"""
+    return (key.endswith("_s") or key == "seconds"
+            or bool(_PERCENTILE_KEY.match(key)))
 
 
 @dataclass
@@ -51,7 +65,7 @@ def _flatten_timings(node: object, prefix: str,
                 _flatten_timings(value, path, out)
             elif isinstance(value, (int, float)) \
                     and not isinstance(value, bool) \
-                    and (str(key).endswith("_s") or key == "seconds"):
+                    and is_timing_key(str(key)):
                 out[path] = float(value)
 
 

@@ -31,14 +31,14 @@ process), records spans locally, and appends them to
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import json
 import os
-import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.perf import PERF, PerfRegistry
 
@@ -111,7 +111,14 @@ class Tracer:
         self._owner_pid = 0
         self._wall_epoch = 0.0
         self._mono_epoch = 0.0
-        self._local = threading.local()
+        # The nesting stack lives in a ContextVar, not a thread-local:
+        # concurrent asyncio tasks (the serve front end handles many
+        # requests on one event-loop thread) each see their own stack,
+        # so interleaved awaits cannot cross-parent or mis-pop spans.
+        # Threads still isolate too — each thread has its own context.
+        self._stack_var: contextvars.ContextVar[Tuple[str, ...]] = \
+            contextvars.ContextVar(f"repro-span-stack-{id(self)}",
+                                   default=())
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -128,21 +135,18 @@ class Tracer:
         self.trace_id = trace_id or \
             f"trace-{int(self._wall_epoch)}-{self._owner_pid}"
         self.spans = []
-        self._local = threading.local()
+        # A forked pool worker inherits the parent's context — and with
+        # it the span stack as of the fork.  Restarting must clear it,
+        # or every worker span nests under a span from another process.
+        self._stack_var.set(())
         self._active = True
 
     def stop(self) -> None:
         self._active = False
 
-    def _stack(self) -> List[str]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
-
     @property
     def current_id(self) -> Optional[str]:
-        stack = self._stack()
+        stack = self._stack_var.get()
         return stack[-1] if stack else None
 
     # -- recording ---------------------------------------------------------
@@ -163,16 +167,16 @@ class Tracer:
             else:
                 yield _DISCARD
             return
-        stack = self._stack()
+        stack = self._stack_var.get()
         span = Span(name=name, span_id=_new_span_id(),
                     parent_id=stack[-1] if stack else None,
                     start_s=time.monotonic(), duration_s=0.0,
                     pid=os.getpid(), attrs=dict(attrs))
-        stack.append(span.span_id)
+        token = self._stack_var.set(stack + (span.span_id,))
         try:
             yield span
         finally:
-            stack.pop()
+            self._stack_var.reset(token)
             span.duration_s = time.monotonic() - span.start_s
             if count:
                 span.attrs.setdefault("count", count)

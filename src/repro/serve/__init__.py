@@ -1,0 +1,68 @@
+"""Simulation-as-a-service: the asyncio HTTP/JSON serving front end.
+
+The batch machinery (``repro.jobs``) answers "run this sweep"; this
+package answers "keep answering pricing questions forever".  Layering
+(each module only imports downward):
+
+``http``       minimal HTTP/1.1 over asyncio streams (stdlib only)
+``protocol``   JSON bodies <-> canonical ``RunRequest`` identities
+``store``      tiered read-through result store (hot LRU -> disk CAS)
+``admission``  bounded compute concurrency with wait telemetry
+``batching``   single-flight coalescing of identical in-flight requests
+``app``        endpoints, request spans, compute pool, graceful drain
+
+Endpoints: ``POST /price``, ``POST /simulate``, ``POST /sweep``,
+``GET /schemes``, ``GET /healthz``, ``GET /stats``.  See
+docs/SERVING.md for schemas and semantics, ``python -m repro serve``
+for the CLI entry point, and ``benchmarks/serve_load.py`` for the
+load/latency harness.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.app import (
+    ComputeError,
+    DRAIN_TIMEOUT_S,
+    MAX_SWEEP_CELLS,
+    ServeApp,
+    ServeServer,
+)
+from repro.serve.batching import SingleFlight
+from repro.serve.http import (
+    BadRequest,
+    HttpRequest,
+    MAX_BODY_BYTES,
+    parse_response,
+    read_request,
+    render_response,
+    write_json,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    metrics_to_json,
+    parse_price,
+    parse_sweep,
+)
+from repro.serve.store import DEFAULT_HOT_CAPACITY, TieredStore
+
+__all__ = [
+    "AdmissionController",
+    "BadRequest",
+    "ComputeError",
+    "DEFAULT_HOT_CAPACITY",
+    "DRAIN_TIMEOUT_S",
+    "HttpRequest",
+    "MAX_BODY_BYTES",
+    "MAX_SWEEP_CELLS",
+    "ProtocolError",
+    "ServeApp",
+    "ServeServer",
+    "SingleFlight",
+    "TieredStore",
+    "metrics_to_json",
+    "parse_price",
+    "parse_response",
+    "parse_sweep",
+    "read_request",
+    "render_response",
+    "write_json",
+]

@@ -1,0 +1,72 @@
+"""Admission control: a bounded compute-concurrency gate with counters.
+
+The serving front end accepts connections freely but admits only
+``limit`` concurrent *computations* — everything past that waits in an
+``asyncio`` queue rather than piling onto the compute pool.  Admission
+wait time is the first latency component a loaded server shows, so each
+admitted request records how long it queued; the app turns that into a
+``serve.admission`` span and the ``/stats`` endpoint aggregates it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import AsyncIterator, Dict, Optional
+
+from contextlib import asynccontextmanager
+
+#: Default concurrent-compute bound (matches the default compute pool).
+DEFAULT_LIMIT = 4
+
+
+class AdmissionController:
+    """Async semaphore with occupancy/wait telemetry."""
+
+    def __init__(self, limit: int = DEFAULT_LIMIT) -> None:
+        if limit < 1:
+            raise ValueError("admission limit must be >= 1")
+        self.limit = limit
+        # Created lazily on first acquire: on Python < 3.10 asyncio
+        # primitives bind the event loop of their *creation* time, and
+        # the controller is often built before the loop runs.
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self.admitted = 0
+        self.waited = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.total_wait_s = 0.0
+        self.max_wait_s = 0.0
+
+    @asynccontextmanager
+    async def slot(self) -> AsyncIterator[float]:
+        """Acquire one compute slot; yields the seconds spent waiting."""
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.limit)
+        start = time.monotonic()
+        contended = self._semaphore.locked()
+        await self._semaphore.acquire()
+        waited_s = time.monotonic() - start
+        self.admitted += 1
+        if contended:
+            self.waited += 1
+        self.total_wait_s += waited_s
+        self.max_wait_s = max(self.max_wait_s, waited_s)
+        self.in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        try:
+            yield waited_s
+        finally:
+            self.in_flight -= 1
+            self._semaphore.release()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "limit": self.limit,
+            "admitted": self.admitted,
+            "waited": self.waited,
+            "in_flight": self.in_flight,
+            "peak_in_flight": self.peak_in_flight,
+            "total_wait_s": self.total_wait_s,
+            "max_wait_s": self.max_wait_s,
+        }

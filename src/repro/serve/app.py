@@ -1,0 +1,424 @@
+"""The serving application: endpoints, coalescing, store, compute pool.
+
+Request lifecycle (one ``serve.request`` span per request)::
+
+    parse/validate (protocol) ............... 400 on bad input
+      hot-tier probe (sync, event loop) ..... serve from memory
+      single-flight (batching) .............. join an identical flight
+        admission slot (admission) .......... bounded concurrency
+          disk lookup (store, pool thread) .. promote on hit
+          compute (jobs layer, pool thread) . price + write-through
+
+Heavy work — disk pickle I/O and pricing — always runs on the compute
+thread pool via :func:`~repro.jobs.executor.execute_group` (the jobs
+layer's dispatch unit), so the event loop never blocks; span context
+propagates into pool threads via ``contextvars.copy_context``, so
+compute-side spans nest under their request span in the trace.
+
+Identical concurrent computations are impossible by construction
+(single-flight keys on the canonical fingerprint).  Distinct cells that
+share a profile — e.g. six schemes of one app/dataset — serialize on a
+per-profile lock, mirroring the batch executor's group scheduling, so
+the jobs layer's per-process Runner memo is never built twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import contextvars
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.jobs.executor import execute_group
+from repro.jobs.fingerprint import job_fingerprint
+from repro.jobs.model import RunRequest, build_job_graph
+from repro.obs import TRACER
+from repro.serve.admission import AdmissionController
+from repro.serve.batching import SingleFlight
+from repro.serve.http import (
+    BadRequest,
+    HttpRequest,
+    read_request,
+    write_json,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    metrics_to_json,
+    parse_price,
+    parse_sweep,
+    request_to_json,
+)
+from repro.serve.store import TieredStore
+from repro.sim.metrics import RunMetrics
+
+#: Cells one /sweep may expand to (arbitrarily large cross products are
+#: a batch job for ``repro report``, not one HTTP request).
+MAX_SWEEP_CELLS = 1024
+
+#: Default compute pool width.
+DEFAULT_WORKERS = 4
+
+#: How long shutdown waits for in-flight requests to finish.
+DRAIN_TIMEOUT_S = 30.0
+
+
+class ComputeError(RuntimeError):
+    """Pricing failed inside the jobs layer."""
+
+
+class ServeApp:
+    """Route table, counters, and the pricing pipeline."""
+
+    def __init__(self, scale: Optional[int] = None,
+                 system: Optional[SystemConfig] = None,
+                 store: Optional[TieredStore] = None,
+                 workers: int = DEFAULT_WORKERS,
+                 admission_limit: Optional[int] = None) -> None:
+        if scale is None:
+            from repro.graph.datasets import DEFAULT_SCALE
+            scale = DEFAULT_SCALE
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.scale = scale
+        self.system = system
+        self._system_resolved = system if system is not None \
+            else SystemConfig().scaled(scale)
+        self.store = store if store is not None else TieredStore()
+        self.admission = AdmissionController(
+            admission_limit if admission_limit is not None else workers)
+        self.flight = SingleFlight()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="serve-compute")
+        self.workers = workers
+        self.computes = 0
+        self.errors = 0
+        self.requests = Counter()
+        self.responses = Counter()
+        self._profile_locks: Dict[Tuple[str, str, str],
+                                  threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        self._start_mono = time.monotonic()
+        self.draining = False
+        self._active = 0
+        # Lazy for the same reason as the admission semaphore: asyncio
+        # primitives on Python < 3.10 bind their creation-time loop, and
+        # the app is typically constructed before asyncio.run().
+        self._idle: Optional[asyncio.Event] = None
+        self._routes: Dict[str, Dict[str, Callable]] = {
+            "/healthz": {"GET": self._get_healthz},
+            "/stats": {"GET": self._get_stats},
+            "/schemes": {"GET": self._get_schemes},
+            "/price": {"POST": self._post_price},
+            "/simulate": {"POST": self._post_simulate},
+            "/sweep": {"POST": self._post_sweep},
+        }
+
+    # -- connection handling -----------------------------------------------
+
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """One task per connection; requests on it run sequentially."""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except BadRequest as exc:
+                    self.responses[exc.status] += 1
+                    await write_json(writer, exc.status,
+                                     {"error": str(exc)},
+                                     keep_alive=False)
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and not self.draining
+                status, payload = await self._dispatch(request)
+                self.responses[status] += 1
+                await write_json(writer, status, payload,
+                                 keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass  # client went away (or shutdown cancelled us)
+        finally:
+            writer.close()
+            # Suppress cancellation too: shutdown cancels connection
+            # tasks while they await this close handshake, and there is
+            # nothing left to unwind past this point.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: HttpRequest
+                        ) -> Tuple[int, object]:
+        """Route one request under its ``serve.request`` span."""
+        self.requests[f"{request.method} {request.path}"] += 1
+        methods = self._routes.get(request.path)
+        if methods is None:
+            return 404, {"error": f"no such endpoint {request.path!r}",
+                         "endpoints": sorted(self._routes)}
+        handler = methods.get(request.method)
+        if handler is None:
+            return 405, {"error": f"{request.method} not allowed on "
+                                  f"{request.path}; allowed: "
+                                  f"{', '.join(sorted(methods))}"}
+        if self.draining and request.method == "POST":
+            return 503, {"error": "server is draining"}
+        self._active += 1
+        self._idle_event().clear()
+        try:
+            with TRACER.span("serve.request", method=request.method,
+                             path=request.path) as span:
+                try:
+                    status, payload = await handler(request)
+                except (BadRequest, ProtocolError) as exc:
+                    status, payload = exc.status, {"error": str(exc)}
+                except ComputeError as exc:
+                    self.errors += 1
+                    status, payload = 500, {"error": str(exc)}
+                except Exception as exc:
+                    self.errors += 1
+                    status, payload = 500, {"error": repr(exc)}
+                span.set(status=status)
+            return status, payload
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle_event().set()
+
+    # -- the pricing pipeline ----------------------------------------------
+
+    def request_key(self, request: RunRequest) -> str:
+        """The canonical content-addressed identity of one cell."""
+        graph = build_job_graph([request])
+        job = graph.jobs[graph.request_jobs[request]]
+        return job_fingerprint(job, self.scale, self._system_resolved)
+
+    def _profile_lock(self, key: Tuple[str, str, str]) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._profile_locks.get(key)
+            if lock is None:
+                lock = self._profile_locks[key] = threading.Lock()
+            return lock
+
+    def _compute_sync(self, request: RunRequest, key: str) -> RunMetrics:
+        """Price one cell on a pool thread via the jobs layer."""
+        graph = build_job_graph([request])
+        ((profile, prices),) = graph.groups()
+        with TRACER.span("serve.compute", cell=request.describe()):
+            with self._profile_lock(request.profile_key):
+                outcomes = execute_group(self.scale, self.system,
+                                         profile, prices)
+        result: Optional[RunMetrics] = None
+        for _job_id, metrics, _wall, _pid, error in outcomes:
+            if error:
+                raise ComputeError(error)
+            if metrics is not None:
+                result = metrics
+        if result is None:
+            raise ComputeError(
+                f"no result for {request.describe()}")
+        self.store.put(key, result)
+        return result
+
+    def _lookup_sync(self, key: str) -> Optional[RunMetrics]:
+        with TRACER.span("serve.lookup"):
+            return self.store.get(key)
+
+    async def _in_pool(self, fn, *args):
+        """Run blocking work on the compute pool, carrying the span
+        context so pool-side spans nest under the request span."""
+        ctx = contextvars.copy_context()
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool, lambda: ctx.run(fn, *args))
+
+    async def price(self, request: RunRequest
+                    ) -> Tuple[RunMetrics, str]:
+        """Price one canonical cell; returns (metrics, source).
+
+        ``source`` is ``hot`` / ``disk`` / ``computed`` / ``coalesced``
+        — the observability handle the load harness and tests key on.
+        """
+        key = self.request_key(request)
+        hot = self.store.get_hot(key)
+        if hot is not None:
+            return hot, "hot"
+
+        async def flight() -> Tuple[RunMetrics, str]:
+            async with self.admission.slot() as waited_s:
+                TRACER.manual_span("serve.admission", waited_s,
+                                   cell=request.describe())
+                value = await self._in_pool(self._lookup_sync, key)
+                if value is not None:
+                    return value, "disk"
+                value = await self._in_pool(self._compute_sync,
+                                            request, key)
+                self.computes += 1
+                return value, "computed"
+
+        (metrics, source), coalesced = await self.flight.run(key, flight)
+        return metrics, "coalesced" if coalesced else source
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _post_price(self, request: HttpRequest
+                          ) -> Tuple[int, object]:
+        cell = parse_price(request.json())
+        metrics, source = await self.price(cell)
+        payload = {"request": request_to_json(cell),
+                   "metrics": metrics_to_json(metrics),
+                   "source": source}
+        return 200, payload
+
+    async def _post_simulate(self, request: HttpRequest
+                             ) -> Tuple[int, object]:
+        """Price one cell plus its ``push`` baseline (CLI parity)."""
+        cell = parse_price(request.json())
+        baseline_cell = parse_price({
+            "app": cell.app, "scheme": "push", "dataset": cell.dataset,
+            "preprocessing": cell.preprocessing})
+        (metrics, source), (baseline, _bsource) = await asyncio.gather(
+            self.price(cell), self.price(baseline_cell))
+        return 200, {
+            "request": request_to_json(cell),
+            "metrics": metrics_to_json(metrics),
+            "baseline": metrics_to_json(baseline),
+            "speedup_over_push": metrics.speedup_over(baseline),
+            "traffic_vs_push": metrics.traffic_ratio_over(baseline),
+            "source": source,
+        }
+
+    async def _post_sweep(self, request: HttpRequest
+                          ) -> Tuple[int, object]:
+        cells = parse_sweep(request.json())
+        if len(cells) > MAX_SWEEP_CELLS:
+            raise ProtocolError(
+                f"sweep expands to {len(cells)} cells, over the "
+                f"{MAX_SWEEP_CELLS}-cell limit; split the request")
+        results = await asyncio.gather(*(self.price(c) for c in cells))
+        sources = Counter(source for _m, source in results)
+        return 200, {
+            "count": len(cells),
+            "sources": dict(sources),
+            "cells": [{**request_to_json(cell),
+                       "metrics": metrics_to_json(metrics),
+                       "source": source}
+                      for cell, (metrics, source)
+                      in zip(cells, results)],
+        }
+
+    async def _get_healthz(self, _request: HttpRequest
+                           ) -> Tuple[int, object]:
+        return 200, {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": time.monotonic() - self._start_mono,
+            "in_flight": self._active,
+            "scale": self.scale,
+            "workers": self.workers,
+        }
+
+    async def _get_stats(self, _request: HttpRequest
+                         ) -> Tuple[int, object]:
+        return 200, self.stats()
+
+    async def _get_schemes(self, _request: HttpRequest
+                           ) -> Tuple[int, object]:
+        from repro.schemes import REGISTRY, default_parts
+        names = REGISTRY.names("all")
+        groups = [g for g in REGISTRY.groups() if g != "all"]
+        schemes = []
+        for name in names:
+            spec = REGISTRY.parse(name)
+            schemes.append({
+                "name": name,
+                "base": spec.base,
+                "overlay": spec.overlay or None,
+                "groups": [g for g in groups
+                           if name in REGISTRY.names(g)],
+                "default_parts": sorted(default_parts(spec.base))
+                if spec.spzip else [],
+            })
+        return 200, {"schemes": schemes, "groups": groups + ["all"],
+                     "count": len(schemes)}
+
+    # -- lifecycle / introspection ----------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Every counter the server keeps, for /stats and harnesses."""
+        return {
+            "uptime_s": time.monotonic() - self._start_mono,
+            "requests": dict(self.requests),
+            "responses": {str(k): v for k, v in self.responses.items()},
+            "computes": self.computes,
+            "errors": self.errors,
+            "in_flight": self._active,
+            "draining": self.draining,
+            "admission": self.admission.stats(),
+            "flight": self.flight.stats(),
+            "store": self.store.stats(),
+        }
+
+    def _idle_event(self) -> asyncio.Event:
+        if self._idle is None:
+            self._idle = asyncio.Event()
+            if self._active == 0:
+                self._idle.set()
+        return self._idle
+
+    async def drain(self, timeout: float = DRAIN_TIMEOUT_S) -> bool:
+        """Stop admitting new POSTs and wait out in-flight requests."""
+        self.draining = True
+        try:
+            await asyncio.wait_for(self._idle_event().wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+
+class ServeServer:
+    """Socket lifecycle around one :class:`ServeApp`."""
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> "ServeServer":
+        self._server = await asyncio.start_server(
+            self.app.handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def shutdown(self, drain_timeout: float = DRAIN_TIMEOUT_S
+                       ) -> bool:
+        """Graceful: stop accepting, drain in-flight, stop the pool."""
+        drained = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        drained = await self.app.drain(drain_timeout)
+        self.app.close()
+        return drained
+
+    async def serve_until(self, stop: "asyncio.Event",
+                          drain_timeout: float = DRAIN_TIMEOUT_S
+                          ) -> bool:
+        """Run until ``stop`` is set, then shut down gracefully."""
+        if self._server is None:
+            await self.start()
+        await stop.wait()
+        return await self.shutdown(drain_timeout)

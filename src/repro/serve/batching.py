@@ -1,0 +1,75 @@
+"""Single-flight request coalescing.
+
+The paper's evaluation shape — many apps x schemes x inputs, dominated
+by repeated identical cell pricings — makes duplicate concurrent
+traffic the common case, not the corner case.  ``SingleFlight``
+guarantees that N concurrent requests for one canonical key perform
+exactly one underlying computation: the first caller becomes the
+*leader* and runs the thunk; everyone else becomes a *follower* and
+awaits the leader's future.
+
+Failure semantics: a leader's exception propagates to every follower of
+that flight (they asked the same question; they get the same answer),
+but is not cached — the next request after the flight clears retries
+fresh.  A cancelled follower does not cancel the leader's computation
+(followers await a shielded view of the shared future).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+
+class SingleFlight:
+    """Coalesce concurrent identical computations onto one flight."""
+
+    def __init__(self) -> None:
+        self._flights: Dict[str, "asyncio.Future[Any]"] = {}
+        self.leaders = 0
+        self.followers = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._flights)
+
+    async def run(self, key: str,
+                  thunk: Callable[[], Awaitable[Any]]
+                  ) -> Tuple[Any, bool]:
+        """Run (or join) the flight for ``key``.
+
+        Returns ``(result, coalesced)`` where ``coalesced`` is True for
+        followers that never executed the thunk.
+        """
+        existing = self._flights.get(key)
+        if existing is not None:
+            self.followers += 1
+            return await asyncio.shield(existing), True
+        future: "asyncio.Future[Any]" = \
+            asyncio.get_running_loop().create_future()
+        self._flights[key] = future
+        self.leaders += 1
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Nobody may ever await a failed flight; don't let the
+                # exception escape as an "unretrieved future" warning.
+                future.exception()
+            raise
+        else:
+            if not future.done():
+                future.set_result(result)
+            return result, False
+        finally:
+            self._flights.pop(key, None)
+
+    def stats(self) -> Dict[str, object]:
+        total = self.leaders + self.followers
+        return {
+            "leaders": self.leaders,
+            "followers": self.followers,
+            "in_flight": self.in_flight,
+            "coalesce_rate": self.followers / total if total else 0.0,
+        }

@@ -1,0 +1,180 @@
+"""Request/response schemas: JSON bodies to canonical identities.
+
+Every pricing endpoint normalizes its body to the jobs layer's
+:func:`~repro.jobs.model.canonical_request` identity — the same
+``RunRequest`` the batch orchestrator, disk cache, and fingerprints key
+on.  Two clients spelling one cell differently (``parts`` kwarg vs.
+bracket grammar, list vs. set) therefore coalesce, share one store
+entry, and one in-flight computation.
+
+Validation is strict and happens *before* any compute is admitted:
+unknown apps/datasets/schemes/preprocessing are a 400 with the list of
+valid values, never a 500 from deep inside the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.jobs.model import RunRequest, canonical_request
+from repro.sim.metrics import RunMetrics
+
+#: Preprocessing menu (mirrors ``repro.graph.preprocess``).
+PREPROCESSINGS = ("none", "natural", "degree", "bfs", "dfs", "gorder")
+
+#: Keys a price body may carry.
+PRICE_KEYS = {"app", "scheme", "dataset", "preprocessing", "parts",
+              "decoupled_only"}
+
+#: Keys a sweep body may carry.
+SWEEP_KEYS = {"app", "apps", "scheme", "schemes", "dataset", "datasets",
+              "preprocessing"}
+
+
+class ProtocolError(Exception):
+    """A semantically invalid request body, mapped to HTTP 400."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _require_object(payload: object) -> Dict[str, object]:
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}")
+    return payload
+
+
+def _valid_name(kind: str, value: object, valid) -> str:
+    if not isinstance(value, str) or value not in valid:
+        raise ProtocolError(f"unknown {kind} {value!r}; valid: "
+                            f"{', '.join(sorted(valid))}")
+    return value
+
+
+def _app(value: object) -> str:
+    from repro.apps import ALL_APPS
+    return _valid_name("app", value, ALL_APPS)
+
+
+def _dataset(value: object) -> str:
+    from repro.graph.datasets import DATASETS
+    return _valid_name("dataset", value, DATASETS)
+
+
+def _preprocessing(value: object) -> str:
+    return _valid_name("preprocessing", value, PREPROCESSINGS)
+
+
+def parse_price(payload: object) -> RunRequest:
+    """Normalize one ``/price`` (or ``/simulate``) body."""
+    from repro.schemes import SchemeParseError, UnknownSchemeError
+    body = _require_object(payload)
+    unknown = set(body) - PRICE_KEYS
+    if unknown:
+        raise ProtocolError(f"unknown field(s) "
+                            f"{', '.join(sorted(unknown))}; valid: "
+                            f"{', '.join(sorted(PRICE_KEYS))}")
+    for name in ("app", "scheme", "dataset"):
+        if name not in body:
+            raise ProtocolError(f"missing required field {name!r}")
+    app = _app(body["app"])
+    dataset = _dataset(body["dataset"])
+    preprocessing = _preprocessing(body.get("preprocessing", "none"))
+    scheme = body["scheme"]
+    if not isinstance(scheme, str):
+        raise ProtocolError(f"scheme must be a string, got "
+                            f"{type(scheme).__name__}")
+    kwargs: Dict[str, object] = {}
+    if body.get("parts") is not None:
+        parts = body["parts"]
+        if not isinstance(parts, (list, str)):
+            raise ProtocolError("parts must be a list of part names")
+        kwargs["parts"] = frozenset([parts] if isinstance(parts, str)
+                                    else [str(p) for p in parts])
+    if body.get("decoupled_only"):
+        kwargs["decoupled_only"] = True
+    try:
+        return canonical_request(app, scheme, dataset, preprocessing,
+                                 **kwargs)
+    except (SchemeParseError, UnknownSchemeError, ValueError) as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def parse_sweep(payload: object) -> List[RunRequest]:
+    """Normalize one ``/sweep`` body into its deduplicated cell list.
+
+    ``apps``/``datasets`` accept lists (or the singular spelling for
+    one value); ``schemes`` additionally accepts a registry group name
+    (``"paper"``, ``"cmh"``, ``"extensions"``, ``"all"``).
+    """
+    from repro.schemes import UnknownSchemeError, scheme_names
+    body = _require_object(payload)
+    unknown = set(body) - SWEEP_KEYS
+    if unknown:
+        raise ProtocolError(f"unknown field(s) "
+                            f"{', '.join(sorted(unknown))}; valid: "
+                            f"{', '.join(sorted(SWEEP_KEYS))}")
+
+    def many(plural: str, singular: str) -> List[object]:
+        if plural in body and singular in body:
+            raise ProtocolError(f"give {plural!r} or {singular!r}, "
+                                f"not both")
+        if plural in body:
+            values = body[plural]
+            if isinstance(values, str):
+                return [values]  # one name (or a scheme group)
+            if not isinstance(values, list) or not values:
+                raise ProtocolError(f"{plural} must be a non-empty list")
+            return values
+        if singular in body:
+            return [body[singular]]
+        raise ProtocolError(f"missing required field {plural!r}")
+
+    apps = [_app(a) for a in many("apps", "app")]
+    datasets = [_dataset(d) for d in many("datasets", "dataset")]
+    preprocessing = _preprocessing(body.get("preprocessing", "none"))
+    schemes = many("schemes", "scheme")
+    if len(schemes) == 1 and isinstance(schemes[0], str):
+        try:
+            schemes = list(scheme_names(schemes[0]))
+        except UnknownSchemeError:
+            pass  # a plain scheme name, not a group
+    requests: List[RunRequest] = []
+    seen = set()
+    for app in apps:
+        for dataset in datasets:
+            for scheme in schemes:
+                request = parse_price({
+                    "app": app, "scheme": scheme, "dataset": dataset,
+                    "preprocessing": preprocessing})
+                if request not in seen:
+                    seen.add(request)
+                    requests.append(request)
+    return requests
+
+
+def request_to_json(request: RunRequest) -> Dict[str, object]:
+    return {"app": request.app, "scheme": request.scheme,
+            "dataset": request.dataset,
+            "preprocessing": request.preprocessing,
+            "cell": request.describe()}
+
+
+def metrics_to_json(metrics: RunMetrics) -> Dict[str, object]:
+    """The wire form of one priced cell."""
+    return {
+        "app": metrics.app,
+        "scheme": metrics.scheme,
+        "dataset": metrics.dataset,
+        "preprocessing": metrics.preprocessing,
+        "cycles": metrics.cycles,
+        "compute_cycles": metrics.compute_cycles,
+        "memory_cycles": metrics.memory_cycles,
+        "bandwidth_bound": metrics.bandwidth_bound,
+        "traffic": dict(metrics.traffic),
+        "total_traffic": metrics.total_traffic,
+        "extras": dict(metrics.extras),
+    }

@@ -1,0 +1,142 @@
+"""Tiered result store: in-process hot LRU over the on-disk cache.
+
+The serving read path promotes the PR-1 content-addressed disk cache
+(:class:`~repro.jobs.cache.ResultCache`) behind a bounded in-process
+dict so repeat traffic never touches the filesystem:
+
+``hot``   an LRU ``OrderedDict`` capped at ``hot_capacity`` entries —
+          hits are O(1) and safe to take on the event loop;
+``disk``  the content-addressed pickle store (or ``NullCache``) —
+          a hit is *promoted* into the hot tier; lookups block on I/O,
+          so the app runs them in its compute pool.
+
+Writes go through both tiers (write-through), so a server restart warms
+from disk and parallel batch runs (``repro report --cache-dir``) share
+results with the server bidirectionally.  All counters — per-tier hits,
+misses, evictions, promotions, and the disk tier's corruption drops —
+are exposed via :meth:`TieredStore.stats` for ``/stats``, the load
+harness, and CI assertions.
+
+The store satisfies the jobs layer's cache interface (``get``/``put``/
+``keys``/``stats``/``enabled``/``on_error``), so a
+:class:`~repro.jobs.executor.JobExecutor` can run directly against it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.jobs.cache import NullCache, ResultCache
+
+#: Default hot-tier bound (entries, not bytes: RunMetrics records are
+#: a few hundred bytes each).
+DEFAULT_HOT_CAPACITY = 1024
+
+
+class TieredStore:
+    """Read-through, write-through two-tier result store."""
+
+    def __init__(self,
+                 disk: Optional[Union[ResultCache, NullCache]] = None,
+                 hot_capacity: int = DEFAULT_HOT_CAPACITY) -> None:
+        if hot_capacity < 1:
+            raise ValueError("hot_capacity must be >= 1")
+        self.disk = disk if disk is not None else NullCache()
+        self.hot_capacity = hot_capacity
+        self._hot: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hot_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.promotions = 0
+
+    # -- cache interface (jobs-layer compatible) ---------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    @property
+    def root(self) -> Optional[str]:
+        return self.disk.root
+
+    @property
+    def on_error(self) -> Optional[Callable[[str], None]]:
+        return self.disk.on_error
+
+    @on_error.setter
+    def on_error(self, handler: Optional[Callable[[str], None]]) -> None:
+        self.disk.on_error = handler
+
+    def get(self, key: str) -> Optional[Any]:
+        """Hot tier, then disk (promoting); ``None`` on miss."""
+        value = self.get_hot(key)
+        if value is not None:
+            return value
+        value = self.disk.get(key)
+        with self._lock:
+            if value is None:
+                self.misses += 1
+                return None
+            self.disk_hits += 1
+            self.promotions += 1
+            self._admit(key, value)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Write-through: hot tier now, disk for the next process."""
+        with self._lock:
+            self._admit(key, value)
+        self.disk.put(key, value)
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            hot = set(self._hot)
+        return sorted(hot | set(self.disk.keys()))
+
+    def stats(self) -> Dict[str, object]:
+        """Both tiers' counters plus the disk store's own stats."""
+        with self._lock:
+            counters = {
+                "hot_entries": len(self._hot),
+                "hot_capacity": self.hot_capacity,
+                "hot_hits": self.hot_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "promotions": self.promotions,
+            }
+        lookups = (counters["hot_hits"] + counters["disk_hits"]
+                   + counters["misses"])
+        counters["hit_rate"] = (
+            (counters["hot_hits"] + counters["disk_hits"]) / lookups
+            if lookups else 0.0)
+        counters["disk"] = self.disk.stats()
+        return counters
+
+    # -- hot-tier internals ------------------------------------------------
+
+    def get_hot(self, key: str) -> Optional[Any]:
+        """Hot-tier-only probe — O(1), no I/O, event-loop safe.
+
+        A miss here is *not* counted as a store miss: the caller falls
+        through to :meth:`get`, which settles the hit/miss verdict.
+        """
+        with self._lock:
+            value = self._hot.get(key)
+            if value is None:
+                return None
+            self._hot.move_to_end(key)
+            self.hot_hits += 1
+            return value
+
+    def _admit(self, key: str, value: Any) -> None:
+        """Insert into the hot tier, evicting LRU entries (lock held)."""
+        self._hot[key] = value
+        self._hot.move_to_end(key)
+        while len(self._hot) > self.hot_capacity:
+            self._hot.popitem(last=False)
+            self.evictions += 1

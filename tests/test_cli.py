@@ -21,6 +21,21 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "table1"])
         assert args.id == "table1"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8377
+        assert args.workers == 4
+        assert args.max_concurrency is None
+        assert args.scale == 4096
+        assert args.hot_capacity == 1024
+        assert args.drain_timeout == 30.0
+        assert not args.no_cache
+
+    def test_serve_rejects_nonpositive_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workers", "0"])
+
 
 class TestCommands:
     def test_list(self, capsys):

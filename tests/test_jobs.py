@@ -161,6 +161,29 @@ class TestResultCache:
         cache.on_error("kept")
         assert mine == ["kept"]
 
+    def test_corruption_counts_in_stats(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.stats()["corrupt_dropped"] == 0
+        cache.put("cd" * 32, [1, 2])
+        with open(cache._path("cd" * 32), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get("cd" * 32) is None
+        assert cache.corrupt_dropped == 1
+        assert cache.stats()["corrupt_dropped"] == 1
+
+    def test_truncated_entry_reads_as_miss(self, tmp_path):
+        """A torn write (empty file) is a miss, dropped and counted."""
+        cache = ResultCache(str(tmp_path))
+        cache.put("ef" * 32, {"x": 1})
+        with open(cache._path("ef" * 32), "wb"):
+            pass  # truncate to zero bytes
+        assert cache.get("ef" * 32) is None
+        assert not os.path.exists(cache._path("ef" * 32))
+        assert cache.stats()["corrupt_dropped"] == 1
+        # The slot is reusable after the drop.
+        cache.put("ef" * 32, {"x": 2})
+        assert cache.get("ef" * 32) == {"x": 2}
+
     def test_prune_keeps_live_keys(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         cache.put("aa" * 32, 1)
@@ -174,6 +197,7 @@ class TestResultCache:
         cache.put("x", 1)
         assert cache.get("x") is None
         assert not cache.enabled
+        assert cache.stats()["corrupt_dropped"] == 0
 
 
 # ---------------------------------------------------------------------------

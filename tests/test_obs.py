@@ -208,6 +208,35 @@ class TestGlobalTracer:
 
 
 class TestDiff:
+    def test_is_timing_key_accepts_percentiles(self):
+        from repro.obs import is_timing_key
+        for key in ("batch_s", "seconds", "p50", "p95", "p99", "p99.9"):
+            assert is_timing_key(key)
+        for key in ("speedup", "p", "p999", "part", "px", "requests",
+                    "throughput_rps"):
+            assert not is_timing_key(key)
+
+    def test_load_timings_serve_latency_schema(self, tmp_path):
+        """BENCH_serve.json percentiles gate like any other timing."""
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps({
+            "duplicate_heavy": {
+                "latency": {"p50": 0.01, "p95": 0.02, "p99": 0.03},
+                "throughput_rps": 900.0,
+                "requests": 64,
+            },
+        }))
+        timings = load_timings(str(path))
+        assert timings == {"duplicate_heavy/latency/p50": 0.01,
+                           "duplicate_heavy/latency/p95": 0.02,
+                           "duplicate_heavy/latency/p99": 0.03}
+        regressions, compared = diff_timings(
+            timings, {**timings, "duplicate_heavy/latency/p99": 0.09},
+            threshold=1.5)
+        assert compared == 3
+        assert [r.metric for r in regressions] == \
+            ["duplicate_heavy/latency/p99"]
+
     def test_load_timings_bench_json(self, tmp_path):
         path = tmp_path / "bench.json"
         path.write_text(json.dumps({

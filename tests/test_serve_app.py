@@ -1,0 +1,415 @@
+"""End-to-end serving tests: coalescing, endpoints, shutdown."""
+
+import asyncio
+import json
+import time
+from collections import Counter
+
+import pytest
+
+from repro.jobs import ResultCache
+from repro.serve import (
+    AdmissionController,
+    ServeApp,
+    ServeServer,
+    SingleFlight,
+    TieredStore,
+    parse_price,
+    parse_response,
+)
+
+SCALE = 65536
+
+CELL = {"app": "dc", "scheme": "phi+spzip", "dataset": "arb"}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_app(tmp_path, **kwargs):
+    store = TieredStore(ResultCache(str(tmp_path / "cache")))
+    return ServeApp(scale=SCALE, store=store, **kwargs)
+
+
+def http_bytes(method, path, payload=None):
+    body = b"" if payload is None else json.dumps(payload).encode()
+    return (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode() + body
+
+
+async def raw_request(server, data):
+    reader, writer = await asyncio.open_connection(server.host,
+                                                   server.port)
+    writer.write(data)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    return raw
+
+
+async def json_request(server, method, path, payload=None):
+    raw = await raw_request(server, http_bytes(method, path, payload))
+    status, _headers, body = parse_response(raw)
+    return status, json.loads(body)
+
+
+# ---------------------------------------------------------------------------
+# Single-flight coalescing
+# ---------------------------------------------------------------------------
+
+class TestSingleFlight:
+    def test_concurrent_identical_run_thunk_exactly_once(self):
+        async def go():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+            executions = []
+
+            async def thunk():
+                executions.append(1)
+                await gate.wait()
+                return "answer"
+
+            tasks = [asyncio.ensure_future(flight.run("k", thunk))
+                     for _ in range(8)]
+            await asyncio.sleep(0)  # everyone joins the flight
+            gate.set()
+            return flight, executions, await asyncio.gather(*tasks)
+
+        flight, executions, outcomes = run(go())
+        assert len(executions) == 1
+        assert all(result == "answer" for result, _c in outcomes)
+        assert Counter(c for _r, c in outcomes) == {False: 1, True: 7}
+        assert (flight.leaders, flight.followers) == (1, 7)
+        assert flight.stats()["coalesce_rate"] == 7 / 8
+        assert flight.in_flight == 0  # the flight is cleared
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def go():
+            flight = SingleFlight()
+
+            async def thunk():
+                return "x"
+
+            await asyncio.gather(flight.run("a", thunk),
+                                 flight.run("b", thunk))
+            return flight
+
+        flight = run(go())
+        assert (flight.leaders, flight.followers) == (2, 0)
+
+    def test_leader_failure_propagates_but_is_not_cached(self):
+        async def go():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+            attempts = []
+
+            async def boom():
+                attempts.append(1)
+                await gate.wait()
+                raise RuntimeError("compute failed")
+
+            tasks = [asyncio.ensure_future(flight.run("k", boom))
+                     for _ in range(3)]
+            await asyncio.sleep(0)
+            gate.set()
+            outcomes = await asyncio.gather(*tasks,
+                                            return_exceptions=True)
+            assert all(isinstance(o, RuntimeError) for o in outcomes)
+
+            async def fine():
+                return "recovered"
+
+            result, coalesced = await flight.run("k", fine)
+            return attempts, result, coalesced
+
+        attempts, result, coalesced = run(go())
+        assert len(attempts) == 1  # the failure ran once, not cached
+        assert (result, coalesced) == ("recovered", False)
+
+
+class TestAdmission:
+    def test_bounds_concurrency_and_counts_waiters(self):
+        async def go():
+            admission = AdmissionController(limit=2)
+
+            async def work():
+                async with admission.slot():
+                    await asyncio.sleep(0.01)
+
+            await asyncio.gather(*(work() for _ in range(5)))
+            return admission
+
+        admission = run(go())
+        assert admission.peak_in_flight == 2
+        assert admission.admitted == 5
+        assert admission.waited >= 3
+        assert admission.in_flight == 0
+        assert admission.stats()["limit"] == 2
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            AdmissionController(limit=0)
+
+
+# ---------------------------------------------------------------------------
+# The pricing pipeline (no sockets)
+# ---------------------------------------------------------------------------
+
+class TestPricePipeline:
+    def test_64_identical_concurrent_requests_compute_once(
+            self, tmp_path):
+        """The acceptance criterion, at the app layer."""
+        async def go():
+            app = make_app(tmp_path)
+            cell = parse_price(CELL)
+            try:
+                results = await asyncio.gather(
+                    *(app.price(cell) for _ in range(64)))
+            finally:
+                app.close()
+            return app, results
+
+        app, results = run(go())
+        assert app.computes == 1
+        sources = Counter(source for _metrics, source in results)
+        assert sources["computed"] == 1
+        assert sources["coalesced"] == 63
+        metrics = {id(m) for m, _s in results}
+        assert len(metrics) == 1  # everyone got the leader's object
+
+    def test_sources_walk_the_tiers(self, tmp_path):
+        async def go():
+            cold = make_app(tmp_path)
+            cell = parse_price(CELL)
+            _m, first = await cold.price(cell)
+            _m, second = await cold.price(cell)
+            cold.close()
+            warm = make_app(tmp_path)  # same disk, empty hot tier
+            _m, third = await warm.price(cell)
+            _m, fourth = await warm.price(cell)
+            warm.close()
+            return first, second, third, fourth
+
+        assert run(go()) == ("computed", "hot", "disk", "hot")
+
+
+# ---------------------------------------------------------------------------
+# HTTP endpoints
+# ---------------------------------------------------------------------------
+
+async def with_server(tmp_path, fn, **app_kwargs):
+    app = make_app(tmp_path, **app_kwargs)
+    server = await ServeServer(app, "127.0.0.1", 0).start()
+    try:
+        return await fn(app, server)
+    finally:
+        await server.shutdown(drain_timeout=5.0)
+
+
+class TestEndpoints:
+    def test_healthz_and_schemes(self, tmp_path):
+        async def go(app, server):
+            status, health = await json_request(server, "GET",
+                                                "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["scale"] == SCALE
+            status, schemes = await json_request(server, "GET",
+                                                 "/schemes")
+            assert status == 200
+            assert schemes["count"] == 10
+            names = {s["name"] for s in schemes["schemes"]}
+            assert "phi+spzip" in names
+            spzip = next(s for s in schemes["schemes"]
+                         if s["name"] == "phi+spzip")
+            assert spzip["default_parts"]
+            assert "paper" in spzip["groups"]
+        run(with_server(tmp_path, go))
+
+    def test_price_and_simulate(self, tmp_path):
+        async def go(app, server):
+            status, priced = await json_request(server, "POST",
+                                                "/price", CELL)
+            assert status == 200
+            assert priced["source"] == "computed"
+            assert priced["metrics"]["cycles"] > 0
+            status, sim = await json_request(server, "POST",
+                                             "/simulate", CELL)
+            assert status == 200
+            assert sim["speedup_over_push"] > 0
+            assert sim["baseline"]["scheme"] == "push"
+        run(with_server(tmp_path, go))
+
+    def test_sweep_counts_and_sources(self, tmp_path):
+        async def go(app, server):
+            body = {"app": "dc", "schemes": ["push", "phi"],
+                    "dataset": "arb"}
+            status, sweep = await json_request(server, "POST",
+                                               "/sweep", body)
+            assert status == 200
+            assert sweep["count"] == 2
+            assert len(sweep["cells"]) == 2
+            # The identical sweep again is served without computing.
+            computes = app.computes
+            status, again = await json_request(server, "POST",
+                                               "/sweep", body)
+            assert status == 200
+            assert app.computes == computes
+            assert set(again["sources"]) == {"hot"}
+        run(with_server(tmp_path, go))
+
+    def test_malformed_body_is_400_with_json_error(self, tmp_path):
+        async def go(app, server):
+            data = (b"POST /price HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 9\r\nConnection: close\r\n\r\n"
+                    b"{not json")
+            raw = await raw_request(server, data)
+            status, _headers, body = parse_response(raw)
+            assert status == 400
+            error = json.loads(body)
+            assert "invalid JSON body" in error["error"]
+        run(with_server(tmp_path, go))
+
+    def test_semantic_errors_are_400(self, tmp_path):
+        async def go(app, server):
+            status, body = await json_request(
+                server, "POST", "/price",
+                {"app": "nope", "scheme": "phi", "dataset": "arb"})
+            assert status == 400
+            assert "unknown app" in body["error"]
+            status, body = await json_request(
+                server, "POST", "/price", {"app": "dc"})
+            assert status == 400
+            assert "missing required field" in body["error"]
+        run(with_server(tmp_path, go))
+
+    def test_unknown_path_and_method(self, tmp_path):
+        async def go(app, server):
+            status, body = await json_request(server, "GET", "/nope")
+            assert status == 404
+            assert "/price" in body["endpoints"]
+            status, body = await json_request(server, "GET", "/price")
+            assert status == 405
+            assert "POST" in body["error"]
+        run(with_server(tmp_path, go))
+
+    def test_garbage_request_line_is_400_and_closes(self, tmp_path):
+        async def go(app, server):
+            raw = await raw_request(server, b"GARBAGE\r\n\r\n")
+            status, headers, body = parse_response(raw)
+            assert status == 400
+            assert headers["connection"] == "close"
+            assert "malformed request line" in json.loads(body)["error"]
+        run(with_server(tmp_path, go))
+
+    def test_keep_alive_serves_sequential_requests(self, tmp_path):
+        async def go(app, server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port)
+            try:
+                for _ in range(2):
+                    writer.write(b"GET /healthz HTTP/1.1\r\n"
+                                 b"Host: t\r\n\r\n")
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    assert b"200 OK" in head
+                    length = int(next(
+                        line.split(b":")[1]
+                        for line in head.split(b"\r\n")
+                        if line.lower().startswith(b"content-length")))
+                    await reader.readexactly(length)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+        run(with_server(tmp_path, go))
+
+    def test_stats_exposes_all_counter_groups(self, tmp_path):
+        async def go(app, server):
+            await json_request(server, "POST", "/price", CELL)
+            status, stats = await json_request(server, "GET", "/stats")
+            assert status == 200
+            assert stats["computes"] == 1
+            assert stats["requests"]["POST /price"] == 1
+            assert stats["store"]["hot_entries"] == 1
+            assert stats["admission"]["admitted"] == 1
+            assert stats["flight"]["leaders"] == 1
+        run(with_server(tmp_path, go))
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown
+# ---------------------------------------------------------------------------
+
+class TestShutdown:
+    def test_drain_waits_for_in_flight_requests(self, tmp_path):
+        async def go():
+            app = make_app(tmp_path)
+            original = app._compute_sync
+
+            def slow(request, key):
+                time.sleep(0.3)
+                return original(request, key)
+
+            app._compute_sync = slow
+            server = await ServeServer(app, "127.0.0.1", 0).start()
+            client = asyncio.ensure_future(
+                json_request(server, "POST", "/price", CELL))
+            while app._active == 0:  # the request is in flight
+                await asyncio.sleep(0.005)
+            drained = await server.shutdown(drain_timeout=10.0)
+            status, body = await client
+            return drained, status, body, server
+
+        drained, status, body, server = run(go())
+        assert drained is True
+        assert status == 200
+        assert body["source"] == "computed"
+
+        async def refused():
+            with pytest.raises(OSError):
+                await asyncio.open_connection(server.host, server.port)
+        run(refused())
+
+    def test_drain_timeout_reports_failure(self, tmp_path):
+        async def go():
+            app = make_app(tmp_path)
+            original = app._compute_sync
+
+            def slow(request, key):
+                time.sleep(0.4)
+                return original(request, key)
+
+            app._compute_sync = slow
+            server = await ServeServer(app, "127.0.0.1", 0).start()
+            client = asyncio.ensure_future(
+                json_request(server, "POST", "/price", CELL))
+            while app._active == 0:
+                await asyncio.sleep(0.005)
+            drained = await server.shutdown(drain_timeout=0.05)
+            status, _body = await client  # still completes afterwards
+            return drained, status
+
+        drained, status = run(go())
+        assert drained is False
+        assert status == 200
+
+    def test_draining_rejects_new_posts_but_answers_gets(
+            self, tmp_path):
+        async def go(app, server):
+            app.draining = True
+            status, body = await json_request(server, "POST", "/price",
+                                              CELL)
+            assert status == 503
+            assert "draining" in body["error"]
+            status, health = await json_request(server, "GET",
+                                                "/healthz")
+            assert status == 200
+            assert health["status"] == "draining"
+            app.draining = False  # let with_server shut down cleanly
+        run(with_server(tmp_path, go))

@@ -1,0 +1,145 @@
+"""Request normalization and validation (repro.serve.protocol)."""
+
+import pytest
+
+from repro.jobs import RunRequest, canonical_request
+from repro.serve.protocol import (
+    ProtocolError,
+    metrics_to_json,
+    parse_price,
+    parse_sweep,
+    request_to_json,
+)
+
+
+class TestParsePrice:
+    def test_minimal_body_normalizes(self):
+        request = parse_price({"app": "dc", "scheme": "phi+spzip",
+                               "dataset": "arb"})
+        assert request == canonical_request("dc", "phi+spzip", "arb")
+        assert request.preprocessing == "none"
+
+    def test_bracket_and_kwarg_spellings_share_identity(self):
+        """The coalescing invariant: one cell, one canonical key."""
+        bracket = parse_price({"app": "dc",
+                               "scheme": "phi+spzip[parts=adjacency]",
+                               "dataset": "arb"})
+        kwarg = parse_price({"app": "dc", "scheme": "phi+spzip",
+                             "dataset": "arb",
+                             "parts": ["adjacency"]})
+        assert bracket == kwarg
+
+    def test_parts_accepts_single_string(self):
+        one = parse_price({"app": "dc", "scheme": "phi+spzip",
+                           "dataset": "arb", "parts": "adjacency"})
+        many = parse_price({"app": "dc", "scheme": "phi+spzip",
+                            "dataset": "arb", "parts": ["adjacency"]})
+        assert one == many
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_price([1, 2, 3])
+        assert "JSON object" in str(info.value)
+
+    @pytest.mark.parametrize("missing", ["app", "scheme", "dataset"])
+    def test_missing_required_field(self, missing):
+        body = {"app": "dc", "scheme": "phi", "dataset": "arb"}
+        del body[missing]
+        with pytest.raises(ProtocolError) as info:
+            parse_price(body)
+        assert missing in str(info.value)
+
+    def test_unknown_field_rejected_with_menu(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_price({"app": "dc", "scheme": "phi",
+                         "dataset": "arb", "turbo": True})
+        assert "turbo" in str(info.value)
+        assert "preprocessing" in str(info.value)  # the valid menu
+
+    def test_unknown_app_lists_valid_apps(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_price({"app": "nope", "scheme": "phi",
+                         "dataset": "arb"})
+        assert "bfs" in str(info.value)
+
+    def test_unknown_dataset_and_preprocessing(self):
+        with pytest.raises(ProtocolError):
+            parse_price({"app": "dc", "scheme": "phi",
+                         "dataset": "nope"})
+        with pytest.raises(ProtocolError):
+            parse_price({"app": "dc", "scheme": "phi",
+                         "dataset": "arb", "preprocessing": "random"})
+
+    def test_unknown_scheme_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            parse_price({"app": "dc", "scheme": "push+bogus",
+                         "dataset": "arb"})
+        with pytest.raises(ProtocolError):
+            parse_price({"app": "dc", "scheme": "phi+spzip[turbo]",
+                         "dataset": "arb"})
+
+    def test_non_string_scheme_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_price({"app": "dc", "scheme": 7, "dataset": "arb"})
+
+
+class TestParseSweep:
+    def test_scheme_group_expands(self):
+        cells = parse_sweep({"app": "dc", "schemes": "paper",
+                             "dataset": "arb"})
+        from repro.schemes import scheme_names
+        assert {c.scheme for c in cells} == set(scheme_names("paper"))
+        assert all(c.app == "dc" and c.dataset == "arb" for c in cells)
+
+    def test_cross_product_and_dedupe(self):
+        cells = parse_sweep({"apps": ["dc", "dc"],
+                             "schemes": ["push", "phi"],
+                             "datasets": ["arb", "ukl"]})
+        assert len(cells) == 4  # duplicate app collapses
+        assert len(set(cells)) == len(cells)
+
+    def test_singular_spellings_accepted(self):
+        cells = parse_sweep({"app": "dc", "scheme": "push",
+                             "dataset": "arb"})
+        assert cells == [RunRequest("dc", "push", "arb")]
+
+    def test_plural_and_singular_conflict_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_sweep({"app": "dc", "apps": ["dc"],
+                         "scheme": "push", "dataset": "arb"})
+        assert "not both" in str(info.value)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_sweep({"apps": [], "scheme": "push",
+                         "dataset": "arb"})
+
+    def test_missing_axis_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_sweep({"app": "dc", "scheme": "push"})
+        assert "datasets" in str(info.value)
+
+    def test_price_only_fields_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_sweep({"app": "dc", "scheme": "push",
+                         "dataset": "arb", "parts": ["adjacency"]})
+
+
+class TestWireForms:
+    def test_request_to_json_carries_cell_description(self):
+        request = canonical_request("dc", "phi+spzip", "arb")
+        wire = request_to_json(request)
+        assert wire["app"] == "dc"
+        assert wire["scheme"] == "phi+spzip"
+        assert wire["cell"] == request.describe()
+
+    def test_metrics_to_json_is_complete_and_plain(self):
+        import json
+
+        from repro.sim.runner import Runner
+        metrics = Runner(scale=65536).run("dc", "phi", "arb")
+        wire = metrics_to_json(metrics)
+        json.dumps(wire)  # JSON-serializable end to end
+        assert wire["cycles"] == metrics.cycles
+        assert wire["total_traffic"] == metrics.total_traffic
+        assert wire["traffic"] == dict(metrics.traffic)

@@ -1,0 +1,106 @@
+"""The tiered result store (repro.serve.store)."""
+
+import pytest
+
+from repro.jobs import NullCache, ResultCache
+from repro.serve import TieredStore
+
+KEY_A = "aa" * 32
+KEY_B = "bb" * 32
+KEY_C = "cc" * 32
+
+
+class TestReadThrough:
+    def test_miss_then_write_through_then_hot_hit(self, tmp_path):
+        store = TieredStore(ResultCache(str(tmp_path)))
+        assert store.get(KEY_A) is None
+        assert store.misses == 1
+        store.put(KEY_A, {"cycles": 7})
+        assert store.get(KEY_A) == {"cycles": 7}
+        assert store.hot_hits == 1
+        assert store.disk_hits == 0  # hot tier answered
+
+    def test_disk_hit_promotes_to_hot(self, tmp_path):
+        disk = ResultCache(str(tmp_path))
+        TieredStore(disk).put(KEY_A, [1, 2])  # another process wrote
+        store = TieredStore(ResultCache(str(tmp_path)))
+        assert store.get(KEY_A) == [1, 2]
+        assert (store.disk_hits, store.promotions) == (1, 1)
+        # The promoted entry now answers from memory.
+        assert store.get(KEY_A) == [1, 2]
+        assert store.hot_hits == 1
+
+    def test_get_hot_probe_does_not_count_misses(self):
+        store = TieredStore()
+        assert store.get_hot(KEY_A) is None
+        assert store.misses == 0
+        store.put(KEY_A, 1)
+        assert store.get_hot(KEY_A) == 1
+        assert store.hot_hits == 1
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self, tmp_path):
+        store = TieredStore(ResultCache(str(tmp_path)), hot_capacity=2)
+        store.put(KEY_A, 1)
+        store.put(KEY_B, 2)
+        store.put(KEY_C, 3)  # evicts A, the least recently used
+        assert store.evictions == 1
+        assert store.get_hot(KEY_A) is None
+        # ... but write-through kept it on disk: read-through recovers.
+        assert store.get(KEY_A) == 1
+        assert store.disk_hits == 1
+
+    def test_hot_hit_refreshes_recency(self):
+        store = TieredStore(hot_capacity=2)
+        store.put(KEY_A, 1)
+        store.put(KEY_B, 2)
+        assert store.get_hot(KEY_A) == 1  # A becomes most recent
+        store.put(KEY_C, 3)  # so B is the one evicted
+        assert store.get_hot(KEY_A) == 1
+        assert store.get_hot(KEY_B) is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TieredStore(hot_capacity=0)
+
+
+class TestCacheInterface:
+    def test_keys_union_both_tiers(self, tmp_path):
+        disk = ResultCache(str(tmp_path))
+        disk.put(KEY_A, 1)
+        store = TieredStore(disk, hot_capacity=4)
+        store.put(KEY_B, 2)
+        assert store.keys() == sorted([KEY_A, KEY_B])
+
+    def test_on_error_passes_through_to_disk(self, tmp_path):
+        messages = []
+        store = TieredStore(ResultCache(str(tmp_path)))
+        store.on_error = messages.append
+        store.put(KEY_A, 1)
+        with open(store.disk._path(KEY_A), "wb") as handle:
+            handle.write(b"garbage")
+        fresh = TieredStore(store.disk)  # cold hot tier, same disk
+        fresh.on_error = messages.append
+        assert fresh.get(KEY_A) is None
+        assert messages and "dropping unreadable" in messages[-1]
+
+    def test_null_disk_default(self):
+        store = TieredStore()
+        assert isinstance(store.disk, NullCache)
+        assert store.enabled  # the hot tier always works
+        assert store.root is None
+        store.put(KEY_A, 1)
+        assert store.get(KEY_A) == 1  # served by the hot tier alone
+
+    def test_stats_shape(self, tmp_path):
+        store = TieredStore(ResultCache(str(tmp_path)), hot_capacity=8)
+        store.put(KEY_A, 1)
+        store.get(KEY_A)
+        store.get(KEY_B)
+        stats = store.stats()
+        assert stats["hot_entries"] == 1
+        assert stats["hot_capacity"] == 8
+        assert stats["hit_rate"] == 0.5
+        assert stats["disk"]["entries"] == 1
+        assert stats["disk"]["corrupt_dropped"] == 0
