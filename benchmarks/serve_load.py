@@ -1,12 +1,17 @@
 """Load generator + latency harness for the serving front end.
 
 Boots a :class:`~repro.serve.ServeApp` in-process (or targets a running
-server via ``--host/--port``) and drives three open-loop traffic mixes
+server via ``--host/--port``) and drives four open-loop traffic mixes
 that bracket the serving design space:
 
 ``unique``
     every request prices a distinct cell — the store can't help, the
     compute pool and admission queue carry the load;
+``distinct_cell``
+    distinct cells that *share profiles* (several schemes of one
+    app/dataset arrive together) — the cross-request batching case:
+    the group batcher should fold same-profile cells into far fewer
+    ``execute_group`` dispatches than requests;
 ``duplicate_heavy``
     one burst of N concurrent *identical* ``/price`` requests for a
     cold cell — the single-flight acceptance case: exactly one
@@ -19,17 +24,26 @@ that bracket the serving design space:
 Each mix records client-observed latency percentiles (``p50/p95/p99``,
 seconds — the schema ``repro perf diff`` treats as timing metrics),
 throughput, and the server-side counter deltas from ``/stats``
-(computations, coalesced followers, store hits).  Results land in
-``BENCH_serve.json``.
+(computations, coalesced followers, store hits, batch formation).
+Results land in ``BENCH_serve.json``.
 
 Exits nonzero if the duplicate-heavy burst performs more than one
-computation or its coalesce+cache hit rate falls below
-:data:`COALESCE_RATE_FLOOR`.
+computation, its coalesce+cache hit rate falls below
+:data:`COALESCE_RATE_FLOOR`, or the distinct-cell mix fails to batch
+(dispatch count not below its request count).
+
+``--scaling-check`` is a separate mode: it boots two self-hosted
+servers — the process backend at ``--workers`` and a one-worker thread
+backend — runs the distinct-cell mix on each, and gates the throughput
+ratio against an adaptive floor (``min(--scaling-floor, 0.7 x
+effective workers)``; skipped with a note on single-core machines,
+where process scaling is physically impossible).
 
 Run with::
 
     PYTHONPATH=src python benchmarks/serve_load.py \
-        [--out BENCH_serve.json] [--duplicates 64] [--scale 65536]
+        [--out BENCH_serve.json] [--backend thread|process] \
+        [--duplicates 64] [--scale 65536] [--scaling-check]
 """
 
 from __future__ import annotations
@@ -53,6 +67,14 @@ UNIQUE_APPS = ("dc", "bfs")
 UNIQUE_SCHEMES = ("push", "push+spzip", "phi", "phi+spzip", "ub",
                   "ub+spzip")
 UNIQUE_DATASETS = ("arb", "ukl")
+
+#: Cells for the distinct-cell mix: every request distinct, but the six
+#: schemes of each (app, dataset) share one profile, so the group
+#: batcher can fold them into a single dispatch.  ``preprocessing:
+#: degree`` keeps these profiles disjoint from every other mix.
+DISTINCT_APPS = ("dc", "bfs")
+DISTINCT_DATASETS = ("arb", "ukl", "twi", "it")
+DISTINCT_PREPROCESSING = "degree"
 
 #: The duplicate mix's one cell — disjoint from the unique mix so the
 #: burst always starts cold.
@@ -121,6 +143,13 @@ class Client:
 
 def stats_delta(before, after):
     """Server-side counter movement across one mix."""
+
+    def batcher(stats, key):
+        return stats.get("batcher", {}).get(key, 0)
+
+    def dispatches(stats):
+        return stats.get("backend", {}).get("dispatches", 0)
+
     return {
         "computes": after["computes"] - before["computes"],
         "coalesced": (after["flight"]["followers"]
@@ -130,6 +159,10 @@ def stats_delta(before, after):
         "disk_hits": (after["store"]["disk_hits"]
                       - before["store"]["disk_hits"]),
         "errors": after["errors"] - before["errors"],
+        "batches": batcher(after, "batches") - batcher(before, "batches"),
+        "batched_cells": (batcher(after, "batched_cells")
+                          - batcher(before, "batched_cells")),
+        "dispatches": dispatches(after) - dispatches(before),
     }
 
 
@@ -180,6 +213,33 @@ def mix_record(name, latencies, wall_s, delta, responses):
     return record
 
 
+async def run_distinct_mix(client, args):
+    """The cross-request batching mix: 48 distinct cells, 8 profiles."""
+    cells = [
+        ("POST", "/price", {"app": app, "scheme": scheme,
+                            "dataset": dataset,
+                            "preprocessing": DISTINCT_PREPROCESSING})
+        for app in DISTINCT_APPS
+        for dataset in DISTINCT_DATASETS
+        for scheme in UNIQUE_SCHEMES][:args.distinct]
+    before = await client.stats()
+    start = time.perf_counter()
+    latencies, responses = await run_burst(client, cells,
+                                           args.client_concurrency)
+    wall_s = time.perf_counter() - start
+    record = mix_record(
+        "distinct_cell", latencies, wall_s,
+        stats_delta(before, await client.stats()), responses)
+    record["profiles"] = len({(app, dataset)
+                              for _m, _p, body in cells
+                              for app, dataset in
+                              [(body["app"], body["dataset"])]})
+    if record["batches"]:
+        record["mean_batch"] = (record["batched_cells"]
+                                / record["batches"])
+    return record
+
+
 async def run_mixes(client, args):
     record = {}
 
@@ -198,6 +258,9 @@ async def run_mixes(client, args):
     record["unique"] = mix_record(
         "unique", latencies, wall_s,
         stats_delta(before, await client.stats()), responses)
+
+    # -- distinct cells sharing profiles: the batching case -------------
+    record["distinct_cell"] = await run_distinct_mix(client, args)
 
     # -- duplicate-heavy: one cold burst of N identical requests --------
     burst = [("POST", "/price", DUPLICATE_CELL)] * args.duplicates
@@ -242,29 +305,99 @@ async def run_mixes(client, args):
     return record
 
 
+async def boot_server(args, backend, workers, cache_dir=None):
+    """Self-host one server; returns (server, client)."""
+    import tempfile
+
+    from repro.jobs.cache import ResultCache
+    from repro.serve import ServeApp, ServeServer, TieredStore
+    cache_dir = cache_dir or tempfile.mkdtemp(prefix="serve-load-")
+    store = TieredStore(ResultCache(cache_dir))
+    app = ServeApp(scale=args.scale, store=store, workers=workers,
+                   backend=backend, batch_window_s=args.batch_window,
+                   batch_max=args.batch_max)
+    server = await ServeServer(app, "127.0.0.1", 0).start()
+    print(f"self-hosted server on {server.url} "
+          f"(scale={args.scale}, backend={app.backend.name}, "
+          f"workers={workers}, batch_window={args.batch_window}s, "
+          f"cache={cache_dir})", file=sys.stderr)
+    return server, Client(server.host, server.port)
+
+
+async def check_health(client):
+    status_code, health, _s = await client.request("GET", "/healthz")
+    assert status_code == 200 and health["status"] == "ok", health
+
+
+async def run_scaling_check(args):
+    """Distinct-cell throughput: process x workers vs one thread.
+
+    The floor adapts to the machine: a single-core box cannot scale
+    across processes at all (the check still runs, but only reports),
+    and a box with fewer cores than ``--workers`` can only reach its
+    core count.  0.7x grants scheduling + IPC overhead.
+    """
+    import os
+    cpus = os.cpu_count() or 1
+    if cpus == 1:
+        floor = 0.0
+        note = "single-core machine: ratio reported, gate skipped"
+    else:
+        floor = min(args.scaling_floor,
+                    0.7 * min(args.workers, cpus))
+        note = f"floor min({args.scaling_floor}, 0.7*{min(args.workers, cpus)})"
+
+    sides = {}
+    for side, backend, workers in (
+            ("process", "process", args.workers),
+            ("thread_1", "thread", 1)):
+        server, client = await boot_server(args, backend, workers)
+        try:
+            await check_health(client)
+            sides[side] = await run_distinct_mix(client, args)
+        finally:
+            await server.shutdown()
+
+    ratio = (sides["process"]["throughput_rps"]
+             / sides["thread_1"]["throughput_rps"]
+             if sides["thread_1"]["throughput_rps"] else 0.0)
+    record = {
+        "bench": "serve_scaling",
+        "python": platform.python_version(),
+        "cpus": cpus,
+        "workers": args.workers,
+        "scaling_floor": floor,
+        "floor_note": note,
+        "speedup": ratio,
+        **{side: mix for side, mix in sides.items()},
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"scaling: process x{args.workers} = "
+          f"{sides['process']['throughput_rps']:.1f} rps, thread x1 = "
+          f"{sides['thread_1']['throughput_rps']:.1f} rps -> "
+          f"{ratio:.2f}x (floor {floor:.2f}, {note})", file=sys.stderr)
+    print(f"wrote {args.out}", file=sys.stderr)
+    if ratio < floor:
+        print(f"FAIL: distinct-cell speedup {ratio:.2f}x below the "
+              f"{floor:.2f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
 async def main_async(args):
+    if args.scaling_check:
+        return await run_scaling_check(args)
+
     if args.host:
         client = Client(args.host, args.port)
         server = None
-        app = None
     else:
-        import tempfile
+        server, client = await boot_server(args, args.backend,
+                                           args.workers, args.cache_dir)
 
-        from repro.jobs.cache import ResultCache
-        from repro.serve import ServeApp, ServeServer, TieredStore
-        cache_dir = args.cache_dir or tempfile.mkdtemp(
-            prefix="serve-load-")
-        store = TieredStore(ResultCache(cache_dir))
-        app = ServeApp(scale=args.scale, store=store,
-                       workers=args.workers)
-        server = await ServeServer(app, "127.0.0.1", 0).start()
-        client = Client(server.host, server.port)
-        print(f"self-hosted server on {server.url} "
-              f"(scale={args.scale}, workers={args.workers}, "
-              f"cache={cache_dir})", file=sys.stderr)
-
-    status_code, health, _s = await client.request("GET", "/healthz")
-    assert status_code == 200 and health["status"] == "ok", health
+    await check_health(client)
 
     try:
         mixes = await run_mixes(client, args)
@@ -279,7 +412,10 @@ async def main_async(args):
         "bench": "serve_load",
         "python": platform.python_version(),
         "scale": args.scale,
+        "backend": "remote" if args.host else args.backend,
         "workers": args.workers,
+        "batch_window_s": args.batch_window,
+        "batch_max": args.batch_max,
         "duplicates": args.duplicates,
         "coalesce_rate_floor": COALESCE_RATE_FLOOR,
         **mixes,
@@ -302,7 +438,14 @@ async def main_async(args):
               f"{100 * COALESCE_RATE_FLOOR:.0f}% floor",
               file=sys.stderr)
         status = 1
-    if duplicate["errors"] or mixes["unique"]["errors"]:
+    distinct = mixes["distinct_cell"]
+    if distinct["dispatches"] >= distinct["requests"] > 0:
+        print(f"FAIL: distinct-cell mix made {distinct['dispatches']} "
+              f"dispatches for {distinct['requests']} requests "
+              f"(cross-request batching broken)", file=sys.stderr)
+        status = 1
+    if (duplicate["errors"] or mixes["unique"]["errors"]
+            or distinct["errors"]):
         print("FAIL: server reported errors during the run",
               file=sys.stderr)
         status = 1
@@ -315,8 +458,18 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=int, default=65536,
                         help="model scale for the self-hosted server")
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default="thread",
+                        help="compute backend for the self-hosted "
+                             "server")
+    parser.add_argument("--batch-window", type=float, default=0.002,
+                        help="cross-request batch window, seconds")
+    parser.add_argument("--batch-max", type=int, default=16,
+                        help="cells per batch before an early flush")
     parser.add_argument("--unique", type=int, default=24,
                         help="unique-mix request count (max 24)")
+    parser.add_argument("--distinct", type=int, default=48,
+                        help="distinct-cell mix request count (max 48)")
     parser.add_argument("--duplicates", type=int, default=64,
                         help="identical concurrent requests in the "
                              "duplicate-heavy burst")
@@ -330,6 +483,13 @@ def main(argv=None) -> int:
                         help="target an already-running server instead "
                              "of self-hosting")
     parser.add_argument("--port", type=int, default=8377)
+    parser.add_argument("--scaling-check", action="store_true",
+                        help="run only the distinct-cell mix on a "
+                             "process-backend server vs a one-worker "
+                             "thread server and gate the speedup")
+    parser.add_argument("--scaling-floor", type=float, default=2.5,
+                        help="required process-over-thread speedup "
+                             "(adapted down on small machines)")
     args = parser.parse_args(argv)
     return asyncio.run(main_async(args))
 

@@ -31,9 +31,10 @@ Commands:
     Summarize the latest orchestrated run's JSONL telemetry (per-job
     timing, cache hits, retries) and the result cache's state.
 
-``serve [--host H] [--port P] [--workers N] [--cache-dir DIR]``
+``serve [--host H] [--port P] [--backend thread|process] [--workers N]``
     Run the simulation-as-a-service HTTP/JSON front end (price/
-    simulate/sweep endpoints, request coalescing, tiered result store)
+    simulate/sweep endpoints, request coalescing, cross-request
+    batching, tiered result store) on the chosen compute backend
     until SIGINT/SIGTERM; shuts down gracefully, draining in-flight
     requests.  See docs/SERVING.md.
 
@@ -240,7 +241,10 @@ def _cmd_serve(args) -> int:
     disk = NullCache() if args.no_cache else ResultCache(args.cache_dir)
     store = TieredStore(disk, hot_capacity=args.hot_capacity)
     app = ServeApp(scale=args.scale, store=store, workers=args.workers,
-                   admission_limit=args.max_concurrency)
+                   admission_limit=args.max_concurrency,
+                   backend=args.backend,
+                   batch_window_s=args.batch_window,
+                   batch_max=args.batch_max)
 
     async def run() -> bool:
         server = await ServeServer(app, args.host, args.port).start()
@@ -252,7 +256,7 @@ def _cmd_serve(args) -> int:
             except (NotImplementedError, RuntimeError):
                 pass  # non-Unix event loop; Ctrl-C still raises
         print(f"serving on {server.url} (scale={app.scale}, "
-              f"workers={app.workers}, "
+              f"backend={app.backend.name}, workers={app.workers}, "
               f"cache={'off' if args.no_cache else args.cache_dir})",
               file=sys.stderr)
         try:
@@ -435,10 +439,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8377,
                        help="listen port (0 picks a free port)")
     serve.add_argument("--workers", type=_positive_int, default=4,
-                       help="compute pool threads")
+                       help="compute pool width (threads or worker "
+                            "processes, per --backend)")
+    serve.add_argument("--backend", choices=("thread", "process"),
+                       default="thread",
+                       help="compute backend: in-process threads, or "
+                            "a sharded OS-process worker pool")
     serve.add_argument("--max-concurrency", type=_positive_int,
                        default=None,
-                       help="admission limit (default: --workers)")
+                       help="admission limit on concurrent group "
+                            "dispatches (default: --workers)")
+    serve.add_argument("--batch-window", type=float, default=0.002,
+                       metavar="SECONDS",
+                       help="how long a batch waits for same-profile "
+                            "company before dispatching")
+    serve.add_argument("--batch-max", type=_positive_int, default=16,
+                       help="cells per execute_group dispatch ceiling")
     serve.add_argument("--scale", type=int, default=4096)
     serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                        help="on-disk tier of the result store")

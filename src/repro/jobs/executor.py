@@ -142,6 +142,62 @@ def _execute_group(scale: int, system: Optional[SystemConfig],
     return outcomes
 
 
+class PoolTraceSession:
+    """Cross-process trace-part bookkeeping around one process pool.
+
+    The PR-4 protocol, packaged for reuse (the batch executor and the
+    serving layer's process backend both dispatch ``execute_group`` to
+    pools): while the session is open, :data:`~repro.obs.REPRO_TRACE_DIR`
+    is exported so pool workers — which must fork/spawn *after* the
+    session opens — flush their spans to per-pid part files;
+    :meth:`record_dispatch` records one ``jobs.task`` envelope span per
+    completed dispatch; :meth:`finish` restores the environment and
+    adopts the part files, re-parenting each worker's top-level spans
+    under the envelope of the group that dispatched them.
+
+    A session opened while the tracer is inactive is a no-op end to end.
+    """
+
+    def __init__(self) -> None:
+        self.active = TRACER.active
+        self._parents: Dict[str, str] = {}
+        self._parts_dir: Optional[str] = None
+        self._prev_env: Optional[str] = None
+        self._fallback = TRACER.current_id if self.active else None
+        if self.active:
+            self._parts_dir = tempfile.mkdtemp(prefix="repro-trace-")
+            self._prev_env = os.environ.get(REPRO_TRACE_DIR)
+            os.environ[REPRO_TRACE_DIR] = self._parts_dir
+
+    def record_dispatch(self, profile: JobSpec, start_s: Optional[float],
+                        attempts: int) -> None:
+        """Record the submit->completion envelope for one group."""
+        if not self.active:
+            return
+        span = TRACER.manual_span(
+            "jobs.task",
+            duration_s=(time.monotonic() - start_s)
+            if start_s is not None else 0.0,
+            start_s=start_s, job_id=profile.job_id, app=profile.app,
+            dataset=profile.dataset,
+            preprocessing=profile.preprocessing, attempts=attempts)
+        self._parents[profile.job_id] = span.span_id
+
+    def finish(self) -> int:
+        """Restore the environment and merge worker part files."""
+        if not self.active:
+            return 0
+        self.active = False
+        if self._prev_env is None:
+            os.environ.pop(REPRO_TRACE_DIR, None)
+        else:
+            os.environ[REPRO_TRACE_DIR] = self._prev_env
+        adopted = TRACER.adopt_parts(self._parts_dir, self._parents,
+                                     fallback_parent=self._fallback)
+        shutil.rmtree(self._parts_dir, ignore_errors=True)
+        return adopted
+
+
 class JobExecutionError(RuntimeError):
     """A job failed after exhausting its retries and the fallback."""
 
@@ -297,29 +353,14 @@ class JobExecutor:
         # When tracing, workers flush their spans to per-pid part files
         # under a directory advertised through the environment (which
         # the pool's workers inherit); adopted back after the drain.
-        trace_parts: Optional[str] = None
-        prev_trace_dir = os.environ.get(REPRO_TRACE_DIR)
-        run_span_id = TRACER.current_id
-        task_parents: Dict[str, str] = {}
-        if TRACER.active:
-            trace_parts = tempfile.mkdtemp(prefix="repro-trace-")
-            os.environ[REPRO_TRACE_DIR] = trace_parts
+        session = PoolTraceSession()
         try:
-            return self._run_pool_inner(pending, trace_parts,
-                                        task_parents)
+            return self._run_pool_inner(pending, session)
         finally:
-            if trace_parts is not None:
-                if prev_trace_dir is None:
-                    os.environ.pop(REPRO_TRACE_DIR, None)
-                else:
-                    os.environ[REPRO_TRACE_DIR] = prev_trace_dir
-                TRACER.adopt_parts(trace_parts, task_parents,
-                                   fallback_parent=run_span_id)
-                shutil.rmtree(trace_parts, ignore_errors=True)
+            session.finish()
 
-    def _run_pool_inner(self, pending, trace_parts,
-                        task_parents) -> Dict[str, Tuple[JobOutcome,
-                                                         int]]:
+    def _run_pool_inner(self, pending, session: PoolTraceSession
+                        ) -> Dict[str, Tuple[JobOutcome, int]]:
         outcomes: Dict[str, Tuple[JobOutcome, int]] = {}
         try:
             pool = ProcessPoolExecutor(max_workers=self.jobs)
@@ -376,20 +417,12 @@ class JobExecutor:
                 for outcome in group:
                     outcomes[outcome[0]] = (outcome, attempt)
                 done_groups += 1
-                if TRACER.active:
-                    # Dispatch envelope: submit -> final completion
-                    # (queue wait + all attempts).  Worker spans for
-                    # this group re-parent under it on adoption.
-                    start = dispatched.get(profile.job_id)
-                    span = TRACER.manual_span(
-                        "jobs.task",
-                        duration_s=(time.monotonic() - start)
-                        if start is not None else 0.0,
-                        start_s=start, job_id=profile.job_id,
-                        app=profile.app, dataset=profile.dataset,
-                        preprocessing=profile.preprocessing,
-                        attempts=attempt + 1)
-                    task_parents[profile.job_id] = span.span_id
+                # Dispatch envelope: submit -> final completion (queue
+                # wait + all attempts).  Worker spans for this group
+                # re-parent under it on adoption.
+                session.record_dispatch(profile,
+                                        dispatched.get(profile.job_id),
+                                        attempt + 1)
                 self._progress(f"group {done_groups}/{len(pending)}: "
                                f"{profile.job_id}")
         finally:

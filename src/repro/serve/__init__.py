@@ -7,9 +7,13 @@ package answers "keep answering pricing questions forever".  Layering
 ``http``       minimal HTTP/1.1 over asyncio streams (stdlib only)
 ``protocol``   JSON bodies <-> canonical ``RunRequest`` identities
 ``store``      tiered read-through result store (hot LRU -> disk CAS)
-``admission``  bounded compute concurrency with wait telemetry
+``admission``  bounded dispatch concurrency with wait telemetry
 ``batching``   single-flight coalescing of identical in-flight requests
-``app``        endpoints, request spans, compute pool, graceful drain
+               plus cross-request batching of same-profile cells
+``pool``       compute backends: in-process threads or a sharded
+               OS-process worker pool
+``app``        endpoints, request spans, compute dispatch, graceful
+               drain
 
 Endpoints: ``POST /price``, ``POST /simulate``, ``POST /sweep``,
 ``GET /schemes``, ``GET /healthz``, ``GET /stats``.  See
@@ -26,7 +30,12 @@ from repro.serve.app import (
     ServeApp,
     ServeServer,
 )
-from repro.serve.batching import SingleFlight
+from repro.serve.batching import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_BATCH_WINDOW_S,
+    GroupBatcher,
+    SingleFlight,
+)
 from repro.serve.http import (
     BadRequest,
     HttpRequest,
@@ -35,6 +44,13 @@ from repro.serve.http import (
     read_request,
     render_response,
     write_json,
+)
+from repro.serve.pool import (
+    BACKENDS,
+    ComputeBackend,
+    ProcessBackend,
+    ThreadBackend,
+    make_backend,
 )
 from repro.serve.protocol import (
     ProtocolError,
@@ -46,18 +62,26 @@ from repro.serve.store import DEFAULT_HOT_CAPACITY, TieredStore
 
 __all__ = [
     "AdmissionController",
+    "BACKENDS",
     "BadRequest",
+    "ComputeBackend",
     "ComputeError",
+    "DEFAULT_BATCH_MAX",
+    "DEFAULT_BATCH_WINDOW_S",
     "DEFAULT_HOT_CAPACITY",
     "DRAIN_TIMEOUT_S",
+    "GroupBatcher",
     "HttpRequest",
     "MAX_BODY_BYTES",
     "MAX_SWEEP_CELLS",
+    "ProcessBackend",
     "ProtocolError",
     "ServeApp",
     "ServeServer",
     "SingleFlight",
+    "ThreadBackend",
     "TieredStore",
+    "make_backend",
     "metrics_to_json",
     "parse_price",
     "parse_response",

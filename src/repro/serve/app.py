@@ -1,25 +1,30 @@
-"""The serving application: endpoints, coalescing, store, compute pool.
+"""The serving application: endpoints, coalescing, batching, backends.
 
 Request lifecycle (one ``serve.request`` span per request)::
 
     parse/validate (protocol) ............... 400 on bad input
       hot-tier probe (sync, event loop) ..... serve from memory
       single-flight (batching) .............. join an identical flight
-        admission slot (admission) .......... bounded concurrency
-          disk lookup (store, pool thread) .. promote on hit
-          compute (jobs layer, pool thread) . price + write-through
+        disk lookup (store, io thread) ...... promote on hit
+        group batcher (batching) ............ join a same-profile batch
+          admission slot (admission) ........ bounded dispatches
+            compute backend (pool) .......... execute_group + put
 
-Heavy work — disk pickle I/O and pricing — always runs on the compute
-thread pool via :func:`~repro.jobs.executor.execute_group` (the jobs
-layer's dispatch unit), so the event loop never blocks; span context
-propagates into pool threads via ``contextvars.copy_context``, so
-compute-side spans nest under their request span in the trace.
+Heavy work — disk pickle I/O and pricing — never runs on the event
+loop: lookups go to a small I/O thread pool, and pricing goes to the
+configured :mod:`compute backend <repro.serve.pool>` (``thread`` or
+``process``) as whole ``execute_group`` dispatches.  Span context
+propagates into pool threads via ``contextvars.copy_context`` (and
+across processes via the trace part-file protocol), so compute-side
+spans nest under their request span in the trace.
 
 Identical concurrent computations are impossible by construction
-(single-flight keys on the canonical fingerprint).  Distinct cells that
-share a profile — e.g. six schemes of one app/dataset — serialize on a
-per-profile lock, mirroring the batch executor's group scheduling, so
-the jobs layer's per-process Runner memo is never built twice.
+(single-flight keys on the canonical fingerprint).  *Distinct* cells
+that share a profile — e.g. six schemes of one app/dataset — are
+collected by the :class:`~repro.serve.batching.GroupBatcher` into one
+``execute_group`` dispatch, so the expensive profiling pass is paid
+once per batch instead of once per request, and distinct profiles
+shard across backend workers instead of serializing on a lock.
 """
 
 from __future__ import annotations
@@ -27,25 +32,29 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import contextvars
-import threading
 import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.config import SystemConfig
-from repro.jobs.executor import execute_group
 from repro.jobs.fingerprint import job_fingerprint
 from repro.jobs.model import RunRequest, build_job_graph
 from repro.obs import TRACER
 from repro.serve.admission import AdmissionController
-from repro.serve.batching import SingleFlight
+from repro.serve.batching import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_BATCH_WINDOW_S,
+    GroupBatcher,
+    SingleFlight,
+)
 from repro.serve.http import (
     BadRequest,
     HttpRequest,
     read_request,
     write_json,
 )
+from repro.serve.pool import ComputeBackend, make_backend
 from repro.serve.protocol import (
     ProtocolError,
     metrics_to_json,
@@ -78,7 +87,10 @@ class ServeApp:
                  system: Optional[SystemConfig] = None,
                  store: Optional[TieredStore] = None,
                  workers: int = DEFAULT_WORKERS,
-                 admission_limit: Optional[int] = None) -> None:
+                 admission_limit: Optional[int] = None,
+                 backend: Union[str, ComputeBackend] = "thread",
+                 batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+                 batch_max: int = DEFAULT_BATCH_MAX) -> None:
         if scale is None:
             from repro.graph.datasets import DEFAULT_SCALE
             scale = DEFAULT_SCALE
@@ -92,16 +104,18 @@ class ServeApp:
         self.admission = AdmissionController(
             admission_limit if admission_limit is not None else workers)
         self.flight = SingleFlight()
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="serve-compute")
+        self.backend = backend if isinstance(backend, ComputeBackend) \
+            else make_backend(backend, workers)
+        self.batcher = GroupBatcher(self._dispatch_cells,
+                                    window_s=batch_window_s,
+                                    max_cells=batch_max)
+        self._io = ThreadPoolExecutor(
+            max_workers=min(workers, 4), thread_name_prefix="serve-io")
         self.workers = workers
         self.computes = 0
         self.errors = 0
         self.requests = Counter()
         self.responses = Counter()
-        self._profile_locks: Dict[Tuple[str, str, str],
-                                  threading.Lock] = {}
-        self._locks_guard = threading.Lock()
         self._start_mono = time.monotonic()
         self.draining = False
         self._active = 0
@@ -198,43 +212,56 @@ class ServeApp:
         job = graph.jobs[graph.request_jobs[request]]
         return job_fingerprint(job, self.scale, self._system_resolved)
 
-    def _profile_lock(self, key: Tuple[str, str, str]) -> threading.Lock:
-        with self._locks_guard:
-            lock = self._profile_locks.get(key)
-            if lock is None:
-                lock = self._profile_locks[key] = threading.Lock()
-            return lock
+    async def _dispatch_cells(self, cells: List[Tuple[RunRequest, str]]
+                              ) -> Dict[str, object]:
+        """Run one batch of same-profile cells as a single group.
 
-    def _compute_sync(self, request: RunRequest, key: str) -> RunMetrics:
-        """Price one cell on a pool thread via the jobs layer."""
-        graph = build_job_graph([request])
-        ((profile, prices),) = graph.groups()
-        with TRACER.span("serve.compute", cell=request.describe()):
-            with self._profile_lock(request.profile_key):
-                outcomes = execute_group(self.scale, self.system,
-                                         profile, prices)
-        result: Optional[RunMetrics] = None
-        for _job_id, metrics, _wall, _pid, error in outcomes:
+        The batcher's dispatch hook: takes ``(request, key)`` cells
+        sharing one profile, prices them in one ``execute_group`` call
+        on the compute backend, write-throughs every result, and
+        returns per-key results (a per-cell failure is an exception
+        *value* so one bad cell cannot sink its batch-mates).
+        """
+        async with self.admission.slot() as waited_s:
+            TRACER.manual_span("serve.admission", waited_s,
+                               cells=len(cells))
+            requests = [request for request, _key in cells]
+            graph = build_job_graph(requests)
+            ((profile, prices),) = graph.groups()
+            with TRACER.span("serve.compute", cells=len(cells),
+                             profile=profile.job_id):
+                outcomes = await self.backend.run_group(
+                    self.scale, self.system, profile, prices)
+        by_id = {outcome[0]: outcome for outcome in outcomes}
+        results: Dict[str, object] = {}
+        for request, key in cells:
+            outcome = by_id.get(graph.request_jobs[request])
+            if outcome is None:
+                results[key] = ComputeError(
+                    f"no result for {request.describe()}")
+                continue
+            _job_id, metrics, _wall, _pid, error = outcome
             if error:
-                raise ComputeError(error)
-            if metrics is not None:
-                result = metrics
-        if result is None:
-            raise ComputeError(
-                f"no result for {request.describe()}")
-        self.store.put(key, result)
-        return result
+                results[key] = ComputeError(error)
+            elif metrics is None:
+                results[key] = ComputeError(
+                    f"no result for {request.describe()}")
+            else:
+                self.store.put(key, metrics)
+                self.computes += 1
+                results[key] = metrics
+        return results
 
     def _lookup_sync(self, key: str) -> Optional[RunMetrics]:
         with TRACER.span("serve.lookup"):
             return self.store.get(key)
 
     async def _in_pool(self, fn, *args):
-        """Run blocking work on the compute pool, carrying the span
+        """Run blocking work on the I/O pool, carrying the span
         context so pool-side spans nest under the request span."""
         ctx = contextvars.copy_context()
         return await asyncio.get_running_loop().run_in_executor(
-            self._pool, lambda: ctx.run(fn, *args))
+            self._io, lambda: ctx.run(fn, *args))
 
     async def price(self, request: RunRequest
                     ) -> Tuple[RunMetrics, str]:
@@ -249,16 +276,12 @@ class ServeApp:
             return hot, "hot"
 
         async def flight() -> Tuple[RunMetrics, str]:
-            async with self.admission.slot() as waited_s:
-                TRACER.manual_span("serve.admission", waited_s,
-                                   cell=request.describe())
-                value = await self._in_pool(self._lookup_sync, key)
-                if value is not None:
-                    return value, "disk"
-                value = await self._in_pool(self._compute_sync,
-                                            request, key)
-                self.computes += 1
-                return value, "computed"
+            value = await self._in_pool(self._lookup_sync, key)
+            if value is not None:
+                return value, "disk"
+            value = await self.batcher.submit(request.profile_key,
+                                              request, key)
+            return value, "computed"
 
         (metrics, source), coalesced = await self.flight.run(key, flight)
         return metrics, "coalesced" if coalesced else source
@@ -319,6 +342,7 @@ class ServeApp:
             "in_flight": self._active,
             "scale": self.scale,
             "workers": self.workers,
+            "backend": self.backend.name,
         }
 
     async def _get_stats(self, _request: HttpRequest
@@ -359,6 +383,8 @@ class ServeApp:
             "draining": self.draining,
             "admission": self.admission.stats(),
             "flight": self.flight.stats(),
+            "batcher": self.batcher.stats(),
+            "backend": self.backend.stats(),
             "store": self.store.stats(),
         }
 
@@ -379,7 +405,8 @@ class ServeApp:
             return False
 
     def close(self) -> None:
-        self._pool.shutdown(wait=False)
+        self.backend.close()
+        self._io.shutdown(wait=False)
 
 
 class ServeServer:

@@ -1,33 +1,53 @@
-"""Single-flight request coalescing.
+"""Request coalescing: single-flight dedup and cross-request batching.
 
 The paper's evaluation shape — many apps x schemes x inputs, dominated
 by repeated identical cell pricings — makes duplicate concurrent
 traffic the common case, not the corner case.  ``SingleFlight``
 guarantees that N concurrent requests for one canonical key perform
 exactly one underlying computation: the first caller becomes the
-*leader* and runs the thunk; everyone else becomes a *follower* and
-awaits the leader's future.
+*leader* and owns the flight task; everyone else becomes a *follower*
+and awaits its result.
 
-Failure semantics: a leader's exception propagates to every follower of
-that flight (they asked the same question; they get the same answer),
-but is not cached — the next request after the flight clears retries
-fresh.  A cancelled follower does not cancel the leader's computation
-(followers await a shielded view of the shared future).
+Failure semantics: the flight's exception propagates to every waiter
+(they asked the same question; they get the same answer), but is not
+cached — the next request after the flight clears retries fresh.
+Cancellation semantics: the flight runs as its own shielded task, so a
+cancelled waiter — leader *or* follower, e.g. a client disconnect —
+never cancels the computation itself; surviving waiters still get the
+result, and if everyone disconnects the result still lands in the
+store for the next asker.
+
+``GroupBatcher`` is the layer below: *distinct* cells that share a
+profile (the expensive ``(app, dataset, preprocessing)`` pass) are
+collected within a small time/size window and dispatched as one
+``execute_group`` call — the jobs layer's group-scheduling idea applied
+across requests, mirroring SpZip's own move of feeding irregular work
+to throughput engines in amortized batches rather than one item at a
+time.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable, Dict, Tuple
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+#: How long the first cell of a batch waits for same-profile company
+#: before dispatching (seconds).  Small on purpose: it bounds the
+#: latency a singleton request can lose to batching.
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+#: Cells per dispatch ceiling; a full batch flushes immediately.
+DEFAULT_BATCH_MAX = 16
 
 
 class SingleFlight:
     """Coalesce concurrent identical computations onto one flight."""
 
     def __init__(self) -> None:
-        self._flights: Dict[str, "asyncio.Future[Any]"] = {}
+        self._flights: Dict[str, "asyncio.Task[Any]"] = {}
         self.leaders = 0
         self.followers = 0
+        self.leader_disconnects = 0
 
     @property
     def in_flight(self) -> int:
@@ -45,31 +65,181 @@ class SingleFlight:
         if existing is not None:
             self.followers += 1
             return await asyncio.shield(existing), True
-        future: "asyncio.Future[Any]" = \
-            asyncio.get_running_loop().create_future()
-        self._flights[key] = future
+        # The thunk runs in its own task so a cancelled leader (client
+        # disconnect) abandons only its *await*, not the computation:
+        # followers of the flight still get the result they are
+        # waiting for.  The task owns flight cleanup via its done
+        # callback — which runs before any waiter resumes, so the
+        # flight table never shows a completed flight.
+        task = asyncio.get_running_loop().create_task(thunk())
+        task.add_done_callback(lambda t: self._settle(key, t))
+        self._flights[key] = task
         self.leaders += 1
         try:
-            result = await thunk()
-        except BaseException as exc:
-            if not future.done():
-                future.set_exception(exc)
-                # Nobody may ever await a failed flight; don't let the
-                # exception escape as an "unretrieved future" warning.
-                future.exception()
+            return await asyncio.shield(task), False
+        except asyncio.CancelledError:
+            if not task.cancelled():
+                self.leader_disconnects += 1
             raise
-        else:
-            if not future.done():
-                future.set_result(result)
-            return result, False
-        finally:
-            self._flights.pop(key, None)
+
+    def _settle(self, key: str, task: "asyncio.Task[Any]") -> None:
+        self._flights.pop(key, None)
+        if not task.cancelled():
+            # Retrieve the exception even if every waiter was cancelled,
+            # so an orphaned failed flight never logs an "exception was
+            # never retrieved" warning.
+            task.exception()
 
     def stats(self) -> Dict[str, object]:
         total = self.leaders + self.followers
         return {
             "leaders": self.leaders,
             "followers": self.followers,
+            "leader_disconnects": self.leader_disconnects,
             "in_flight": self.in_flight,
             "coalesce_rate": self.followers / total if total else 0.0,
+        }
+
+
+class _Batch:
+    """One pending group of same-profile cells (internal)."""
+
+    __slots__ = ("cells", "futures", "timer", "flushed")
+
+    def __init__(self) -> None:
+        self.cells: List[Tuple[Any, str]] = []
+        self.futures: Dict[str, "asyncio.Future[Any]"] = {}
+        self.timer: Optional[asyncio.TimerHandle] = None
+        self.flushed = False
+
+
+class GroupBatcher:
+    """Batch distinct same-profile cells into one group dispatch.
+
+    ``dispatch`` receives a list of ``(request, key)`` cells that all
+    share one ``profile_key`` and must return (awaitably) a mapping of
+    ``key`` to either a result or an :class:`Exception` instance; a
+    raised exception fails the whole batch.
+
+    A batch flushes when the first of three events arrives:
+
+    * it reaches ``max_cells`` (size flush);
+    * its ``window_s`` timer expires (window flush);
+    * an earlier dispatch for the same profile completes (completion
+      flush) — back-to-back work for a busy profile re-batches at
+      every free flush point, so sustained load forms large groups
+      without anyone waiting longer than ``window_s``.
+    """
+
+    def __init__(self, dispatch: Callable[
+            [List[Tuple[Any, str]]], Awaitable[Dict[str, Any]]],
+            window_s: float = DEFAULT_BATCH_WINDOW_S,
+            max_cells: int = DEFAULT_BATCH_MAX) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if max_cells < 1:
+            raise ValueError("max_cells must be >= 1")
+        self._dispatch = dispatch
+        self.window_s = window_s
+        self.max_cells = max_cells
+        self._pending: Dict[Any, _Batch] = {}
+        self._busy: Dict[Any, int] = {}
+        self._tasks: "set[asyncio.Task[None]]" = set()
+        self.batches = 0
+        self.batched_cells = 0
+        self.size_flushes = 0
+        self.window_flushes = 0
+        self.completion_flushes = 0
+        self.max_batch = 0
+
+    @property
+    def pending(self) -> int:
+        return sum(len(b.cells) for b in self._pending.values())
+
+    @property
+    def in_flight(self) -> int:
+        return sum(self._busy.values())
+
+    async def submit(self, profile_key: Any, request: Any,
+                     key: str) -> Any:
+        """Enqueue one cell; resolves with its result (or raises)."""
+        loop = asyncio.get_running_loop()
+        batch = self._pending.get(profile_key)
+        if batch is None:
+            batch = self._pending[profile_key] = _Batch()
+            batch.timer = loop.call_later(
+                self.window_s, self._flush, profile_key, batch,
+                "window")
+        future: "asyncio.Future[Any]" = loop.create_future()
+        batch.cells.append((request, key))
+        batch.futures[key] = future
+        if len(batch.cells) >= self.max_cells:
+            self._flush(profile_key, batch, "size")
+        return await future
+
+    # -- flush machinery ---------------------------------------------------
+
+    def _flush(self, profile_key: Any, batch: _Batch,
+               reason: str) -> None:
+        if batch.flushed:
+            return
+        batch.flushed = True
+        if batch.timer is not None:
+            batch.timer.cancel()
+        if self._pending.get(profile_key) is batch:
+            del self._pending[profile_key]
+        self.batches += 1
+        self.batched_cells += len(batch.cells)
+        self.max_batch = max(self.max_batch, len(batch.cells))
+        setattr(self, f"{reason}_flushes",
+                getattr(self, f"{reason}_flushes") + 1)
+        self._busy[profile_key] = self._busy.get(profile_key, 0) + 1
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(profile_key, batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, profile_key: Any,
+                         batch: _Batch) -> None:
+        try:
+            results = await self._dispatch(batch.cells)
+        except BaseException as exc:  # noqa: BLE001 — fanned out below
+            for future in batch.futures.values():
+                if not future.done():
+                    future.set_exception(exc)
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+        else:
+            for _request, key in batch.cells:
+                future = batch.futures[key]
+                if future.done():
+                    continue
+                outcome = results.get(key, KeyError(
+                    f"dispatch returned no outcome for {key}"))
+                if isinstance(outcome, Exception):
+                    future.set_exception(outcome)
+                else:
+                    future.set_result(outcome)
+        finally:
+            remaining = self._busy.get(profile_key, 1) - 1
+            if remaining:
+                self._busy[profile_key] = remaining
+            else:
+                self._busy.pop(profile_key, None)
+            follower = self._pending.get(profile_key)
+            if follower is not None:
+                self._flush(profile_key, follower, "completion")
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "batches": self.batches,
+            "batched_cells": self.batched_cells,
+            "mean_batch": (self.batched_cells / self.batches
+                           if self.batches else 0.0),
+            "max_batch": self.max_batch,
+            "size_flushes": self.size_flushes,
+            "window_flushes": self.window_flushes,
+            "completion_flushes": self.completion_flushes,
+            "pending": self.pending,
+            "in_flight": self.in_flight,
         }

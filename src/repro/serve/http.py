@@ -56,10 +56,21 @@ class HttpRequest:
     path: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     @property
     def keep_alive(self) -> bool:
-        return self.headers.get("connection", "").lower() != "close"
+        """Connection persistence, per the request's protocol version.
+
+        HTTP/1.0 connections close unless the client explicitly opted
+        in with ``Connection: keep-alive``; HTTP/1.1 connections persist
+        unless the client sent ``Connection: close``.
+        """
+        tokens = {token.strip() for token in
+                  self.headers.get("connection", "").lower().split(",")}
+        if self.version == "HTTP/1.0":
+            return "keep-alive" in tokens
+        return "close" not in tokens
 
     def json(self) -> object:
         """Decode the body as JSON (400 on undecodable bodies)."""
@@ -111,8 +122,21 @@ async def read_request(reader: asyncio.StreamReader
         name, sep, value = line.decode("latin-1").partition(":")
         if not sep or not name.strip():
             raise BadRequest(f"malformed header line {line[:64]!r}")
-        headers[name.strip().lower()] = value.strip()
+        key = name.strip().lower()
+        if key in headers:
+            # Duplicate Content-Length is the request-smuggling shape:
+            # two parsers disagreeing on which value frames the body.
+            # Refuse outright rather than silently keeping either.
+            if key == "content-length":
+                raise BadRequest("duplicate Content-Length header")
+            headers[key] = f"{headers[key]}, {value.strip()}"
+        else:
+            headers[key] = value.strip()
 
+    if "transfer-encoding" in headers:
+        # Never framed by Transfer-Encoding — and never alongside
+        # Content-Length, where the two framings can disagree.
+        raise BadRequest("chunked bodies are not supported")
     body = b""
     length_text = headers.get("content-length", "")
     if length_text:
@@ -130,10 +154,8 @@ async def read_request(reader: asyncio.StreamReader
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError as exc:
             raise BadRequest("truncated request body") from exc
-    elif "transfer-encoding" in headers:
-        raise BadRequest("chunked bodies are not supported")
     return HttpRequest(method=method, path=path, headers=headers,
-                       body=body)
+                       body=body, version=version)
 
 
 def render_response(status: int, body: bytes,

@@ -34,6 +34,11 @@ from repro.jobs.cache import NullCache, ResultCache
 #: a few hundred bytes each).
 DEFAULT_HOT_CAPACITY = 1024
 
+#: Absence sentinel: the hot tier may legitimately cache falsy values
+#: (``None``, ``0``, ``{}``), so presence checks can never be value
+#: comparisons against the entry itself.
+_MISS = object()
+
 
 class TieredStore:
     """Read-through, write-through two-tier result store."""
@@ -71,16 +76,23 @@ class TieredStore:
     def on_error(self, handler: Optional[Callable[[str], None]]) -> None:
         self.disk.on_error = handler
 
-    def get(self, key: str) -> Optional[Any]:
-        """Hot tier, then disk (promoting); ``None`` on miss."""
-        value = self.get_hot(key)
-        if value is not None:
+    def get(self, key: str, default: Any = None) -> Optional[Any]:
+        """Hot tier, then disk (promoting); ``default`` on miss.
+
+        The hot tier distinguishes a cached falsy value (even ``None``)
+        from absence, so such entries hit instead of recomputing
+        forever.  The disk tier keeps the jobs-cache contract where
+        ``None`` means miss — a cached ``None`` therefore only ever
+        hits hot.
+        """
+        value = self.get_hot(key, _MISS)
+        if value is not _MISS:
             return value
         value = self.disk.get(key)
         with self._lock:
             if value is None:
                 self.misses += 1
-                return None
+                return default
             self.disk_hits += 1
             self.promotions += 1
             self._admit(key, value)
@@ -119,16 +131,18 @@ class TieredStore:
 
     # -- hot-tier internals ------------------------------------------------
 
-    def get_hot(self, key: str) -> Optional[Any]:
+    def get_hot(self, key: str, default: Any = None) -> Optional[Any]:
         """Hot-tier-only probe — O(1), no I/O, event-loop safe.
 
         A miss here is *not* counted as a store miss: the caller falls
         through to :meth:`get`, which settles the hit/miss verdict.
+        Presence is tracked with a sentinel, so cached falsy values
+        (including ``None``) count as hits.
         """
         with self._lock:
-            value = self._hot.get(key)
-            if value is None:
-                return None
+            value = self._hot.get(key, _MISS)
+            if value is _MISS:
+                return default
             self._hot.move_to_end(key)
             self.hot_hits += 1
             return value

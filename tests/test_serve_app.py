@@ -132,6 +132,208 @@ class TestSingleFlight:
         assert len(attempts) == 1  # the failure ran once, not cached
         assert (result, coalesced) == ("recovered", False)
 
+    def test_cancelled_leader_does_not_sink_followers(self):
+        """A leader disconnect must not fail the flight's followers."""
+        async def go():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+            executions = []
+
+            async def thunk():
+                executions.append(1)
+                await gate.wait()
+                return "answer"
+
+            leader = asyncio.ensure_future(flight.run("k", thunk))
+            await asyncio.sleep(0)  # leader owns the flight
+            followers = [asyncio.ensure_future(flight.run("k", thunk))
+                         for _ in range(3)]
+            await asyncio.sleep(0)  # followers join it
+            leader.cancel()  # client disconnect
+            await asyncio.sleep(0)
+            gate.set()
+            results = await asyncio.gather(*followers)
+            with pytest.raises(asyncio.CancelledError):
+                await leader
+            return flight, executions, results
+
+        flight, executions, results = run(go())
+        assert len(executions) == 1  # the work still ran exactly once
+        assert all(r == ("answer", True) for r in results)
+        assert flight.leader_disconnects == 1
+        assert flight.in_flight == 0
+
+    def test_fully_abandoned_flight_still_completes(self):
+        """Every waiter cancelled: the computation still finishes (it
+        warms the store for the next asker) without leaking warnings."""
+        async def go():
+            flight = SingleFlight()
+            finished = asyncio.Event()
+
+            async def thunk():
+                await asyncio.sleep(0)
+                finished.set()
+                return "late"
+
+            leader = asyncio.ensure_future(flight.run("k", thunk))
+            await asyncio.sleep(0)
+            leader.cancel()
+            await asyncio.wait_for(finished.wait(), timeout=1.0)
+            await asyncio.sleep(0)  # let the done callback settle
+            return flight
+
+        flight = run(go())
+        assert flight.in_flight == 0
+
+
+class TestGroupBatcher:
+    def test_same_profile_cells_batch_into_one_dispatch(self):
+        from repro.serve import GroupBatcher
+
+        async def go():
+            dispatches = []
+
+            async def dispatch(cells):
+                dispatches.append(cells)
+                return {key: f"priced:{key}" for _r, key in cells}
+
+            batcher = GroupBatcher(dispatch, window_s=0.01,
+                                   max_cells=16)
+            results = await asyncio.gather(
+                *(batcher.submit("profileA", f"req{i}", f"k{i}")
+                  for i in range(5)))
+            return batcher, dispatches, results
+
+        batcher, dispatches, results = run(go())
+        assert len(dispatches) == 1  # one group for all five cells
+        assert len(dispatches[0]) == 5
+        assert results == [f"priced:k{i}" for i in range(5)]
+        assert batcher.stats()["batches"] == 1
+        assert batcher.stats()["batched_cells"] == 5
+        assert batcher.stats()["max_batch"] == 5
+
+    def test_distinct_profiles_dispatch_separately(self):
+        from repro.serve import GroupBatcher
+
+        async def go():
+            dispatches = []
+
+            async def dispatch(cells):
+                dispatches.append(cells)
+                return {key: key for _r, key in cells}
+
+            batcher = GroupBatcher(dispatch, window_s=0.005)
+            await asyncio.gather(batcher.submit("pA", "r1", "k1"),
+                                 batcher.submit("pB", "r2", "k2"))
+            return dispatches
+
+        dispatches = run(go())
+        assert len(dispatches) == 2
+
+    def test_full_batch_flushes_before_the_window(self):
+        from repro.serve import GroupBatcher
+
+        async def go():
+            dispatches = []
+
+            async def dispatch(cells):
+                dispatches.append(cells)
+                return {key: key for _r, key in cells}
+
+            # A long window that max_cells=2 must preempt.
+            batcher = GroupBatcher(dispatch, window_s=30.0, max_cells=2)
+            await asyncio.wait_for(asyncio.gather(
+                *(batcher.submit("p", f"r{i}", f"k{i}")
+                  for i in range(4))), timeout=5.0)
+            return batcher, dispatches
+
+        batcher, dispatches = run(go())
+        assert len(dispatches) == 2
+        assert all(len(cells) == 2 for cells in dispatches)
+        assert batcher.size_flushes == 2
+
+    def test_completion_flush_releases_lingering_batch(self):
+        from repro.serve import GroupBatcher
+
+        async def go():
+            gate = asyncio.Event()
+            dispatches = []
+
+            async def dispatch(cells):
+                dispatches.append(cells)
+                if len(dispatches) == 1:
+                    await gate.wait()
+                return {key: key for _r, key in cells}
+
+            # Effectively infinite window: the second batch can only
+            # flush when the first dispatch completes.
+            batcher = GroupBatcher(dispatch, window_s=30.0, max_cells=2)
+            first = [asyncio.ensure_future(
+                batcher.submit("p", f"r{i}", f"k{i}"))
+                for i in range(2)]  # size-flushes immediately
+            await asyncio.sleep(0)
+            late = asyncio.ensure_future(
+                batcher.submit("p", "r-late", "k-late"))
+            await asyncio.sleep(0)
+            gate.set()
+            await asyncio.wait_for(
+                asyncio.gather(*first, late), timeout=5.0)
+            return batcher, dispatches
+
+        batcher, dispatches = run(go())
+        assert len(dispatches) == 2
+        assert batcher.completion_flushes == 1
+
+    def test_per_cell_exception_values_fail_only_their_cell(self):
+        from repro.serve import GroupBatcher
+
+        async def go():
+            async def dispatch(cells):
+                results = {}
+                for _request, key in cells:
+                    results[key] = RuntimeError("bad cell") \
+                        if key == "k-bad" else f"ok:{key}"
+                return results
+
+            batcher = GroupBatcher(dispatch, window_s=0.005)
+            good, bad = await asyncio.gather(
+                batcher.submit("p", "r1", "k-good"),
+                batcher.submit("p", "r2", "k-bad"),
+                return_exceptions=True)
+            return good, bad
+
+        good, bad = run(go())
+        assert good == "ok:k-good"
+        assert isinstance(bad, RuntimeError)
+
+    def test_dispatch_crash_fails_the_whole_batch(self):
+        from repro.serve import GroupBatcher
+
+        async def go():
+            async def dispatch(cells):
+                raise OSError("pool exploded")
+
+            batcher = GroupBatcher(dispatch, window_s=0.005)
+            outcomes = await asyncio.gather(
+                batcher.submit("p", "r1", "k1"),
+                batcher.submit("p", "r2", "k2"),
+                return_exceptions=True)
+            return outcomes
+
+        outcomes = run(go())
+        assert all(isinstance(o, OSError) for o in outcomes)
+
+    def test_rejects_bad_knobs(self):
+        from repro.serve import GroupBatcher
+
+        async def noop(cells):
+            return {}
+
+        with pytest.raises(ValueError):
+            GroupBatcher(noop, window_s=-1.0)
+        with pytest.raises(ValueError):
+            GroupBatcher(noop, max_cells=0)
+
 
 class TestAdmission:
     def test_bounds_concurrency_and_counts_waiters(self):
@@ -350,13 +552,13 @@ class TestShutdown:
     def test_drain_waits_for_in_flight_requests(self, tmp_path):
         async def go():
             app = make_app(tmp_path)
-            original = app._compute_sync
+            original = app.backend._run_locked
 
-            def slow(request, key):
+            def slow(*args):
                 time.sleep(0.3)
-                return original(request, key)
+                return original(*args)
 
-            app._compute_sync = slow
+            app.backend._run_locked = slow
             server = await ServeServer(app, "127.0.0.1", 0).start()
             client = asyncio.ensure_future(
                 json_request(server, "POST", "/price", CELL))
@@ -379,13 +581,13 @@ class TestShutdown:
     def test_drain_timeout_reports_failure(self, tmp_path):
         async def go():
             app = make_app(tmp_path)
-            original = app._compute_sync
+            original = app.backend._run_locked
 
-            def slow(request, key):
+            def slow(*args):
                 time.sleep(0.4)
-                return original(request, key)
+                return original(*args)
 
-            app._compute_sync = slow
+            app.backend._run_locked = slow
             server = await ServeServer(app, "127.0.0.1", 0).start()
             client = asyncio.ensure_future(
                 json_request(server, "POST", "/price", CELL))

@@ -55,6 +55,48 @@ class TestReadRequest:
         request = parse(request_bytes(headers=["Connection: close"]))
         assert not request.keep_alive
 
+    @pytest.mark.parametrize("version,headers,expected", [
+        ("HTTP/1.1", [], True),
+        ("HTTP/1.1", ["Connection: close"], False),
+        ("HTTP/1.1", ["Connection: keep-alive"], True),
+        ("HTTP/1.0", [], False),  # 1.0 defaults to close
+        ("HTTP/1.0", ["Connection: close"], False),
+        ("HTTP/1.0", ["Connection: keep-alive"], True),
+        ("HTTP/1.0", ["Connection: Keep-Alive"], True),
+    ])
+    def test_keep_alive_matrix(self, version, headers, expected):
+        lines = ["GET /healthz " + version, "Host: t", *headers]
+        request = parse(("\r\n".join(lines) + "\r\n\r\n").encode())
+        assert request.version == version
+        assert request.keep_alive is expected
+
+    def test_duplicate_content_length_is_400(self):
+        raw = (b"POST /price HTTP/1.1\r\nHost: t\r\n"
+               b"Content-Length: 5\r\nContent-Length: 50\r\n\r\nhello")
+        with pytest.raises(BadRequest) as info:
+            parse(raw)
+        assert info.value.status == 400
+        assert "duplicate Content-Length" in str(info.value)
+
+    def test_duplicate_content_length_same_value_still_400(self):
+        raw = (b"POST /price HTTP/1.1\r\nHost: t\r\n"
+               b"Content-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+        with pytest.raises(BadRequest):
+            parse(raw)
+
+    def test_other_duplicate_headers_are_comma_joined(self):
+        request = parse(request_bytes(
+            headers=["X-Tag: one", "X-Tag: two"]))
+        assert request.headers["x-tag"] == "one, two"
+
+    def test_content_length_with_transfer_encoding_is_400(self):
+        raw = (b"POST /price HTTP/1.1\r\nHost: t\r\n"
+               b"Content-Length: 5\r\n"
+               b"Transfer-Encoding: chunked\r\n\r\nhello")
+        with pytest.raises(BadRequest) as info:
+            parse(raw)
+        assert "chunked" in str(info.value)
+
     def test_pipelined_requests_parse_sequentially(self):
         async def go():
             reader = asyncio.StreamReader()

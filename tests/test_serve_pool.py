@@ -1,0 +1,271 @@
+"""Compute backends (repro.serve.pool) and app-level batch dispatch."""
+
+import asyncio
+from collections import Counter
+
+import pytest
+
+from repro.jobs import ResultCache
+from repro.jobs.model import build_job_graph, canonical_request
+from repro.serve import (
+    ProcessBackend,
+    ServeApp,
+    ThreadBackend,
+    TieredStore,
+    make_backend,
+    parse_price,
+)
+
+SCALE = 65536
+
+SCHEMES = ("push", "push+spzip", "phi", "phi+spzip", "ub", "ub+spzip")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def one_group(app="dc", dataset="arb", schemes=("push", "phi")):
+    requests = [canonical_request(app, scheme, dataset)
+                for scheme in schemes]
+    graph = build_job_graph(requests)
+    ((profile, prices),) = graph.groups()
+    return profile, prices
+
+
+def make_app(tmp_path, **kwargs):
+    store = TieredStore(ResultCache(str(tmp_path / "cache")))
+    return ServeApp(scale=SCALE, store=store, **kwargs)
+
+
+class TestMakeBackend:
+    def test_builds_by_name(self):
+        thread = make_backend("thread", 2)
+        process = make_backend("process", 2)
+        try:
+            assert isinstance(thread, ThreadBackend)
+            assert isinstance(process, ProcessBackend)
+        finally:
+            thread.close()
+            process.close()
+
+    def test_unknown_name_lists_valid(self):
+        with pytest.raises(ValueError) as info:
+            make_backend("gpu", 2)
+        assert "thread" in str(info.value)
+        assert "process" in str(info.value)
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_rejects_nonpositive_workers(self, name):
+        with pytest.raises(ValueError):
+            make_backend(name, 0)
+
+
+class TestThreadBackend:
+    def test_runs_group_and_counts_dispatches(self):
+        backend = ThreadBackend(workers=2)
+        profile, prices = one_group()
+
+        async def go():
+            return await backend.run_group(SCALE, None, profile, prices)
+
+        try:
+            outcomes = run(go())
+        finally:
+            backend.close()
+        assert len(outcomes) == 1 + len(prices)
+        assert all(error == "" for *_rest, error in outcomes)
+        assert backend.stats() == {"name": "thread", "workers": 2,
+                                   "dispatches": 1}
+
+    def test_same_profile_dispatches_serialize(self):
+        """Two concurrent same-profile groups run one after the other
+        (the per-profile lock), so the Runner memo is built once."""
+        backend = ThreadBackend(workers=2)
+        profile, prices = one_group(schemes=SCHEMES)
+        order = []
+        original = backend._run_locked
+
+        def observed(*args):
+            order.append("start")
+            result = original(*args)
+            order.append("end")
+            return result
+
+        backend._run_locked = observed
+
+        async def go():
+            await asyncio.gather(
+                backend.run_group(SCALE, None, profile, prices[:3]),
+                backend.run_group(SCALE, None, profile, prices[3:]))
+
+        try:
+            run(go())
+        finally:
+            backend.close()
+        assert order in (["start", "end", "start", "end"],)
+
+
+class TestProcessBackend:
+    def test_runs_group_in_worker_process(self):
+        import os
+        backend = ProcessBackend(workers=2)
+        profile, prices = one_group(dataset="ukl")
+
+        async def go():
+            return await backend.run_group(SCALE, None, profile, prices)
+
+        try:
+            outcomes = run(go())
+        finally:
+            backend.close()
+        assert len(outcomes) == 1 + len(prices)
+        assert all(error == "" for *_rest, error in outcomes)
+        if backend.stats()["pool"] == "up":  # sandbox may deny pools
+            pids = {pid for _j, _m, _w, pid, _e in outcomes}
+            assert pids and os.getpid() not in pids
+            assert backend.fallbacks == 0
+        assert backend.dispatches == 1
+
+    def test_broken_pool_falls_back_in_process(self):
+        backend = ProcessBackend(workers=1)
+        profile, prices = one_group()
+        if backend._pool is not None:
+            backend._pool.shutdown(wait=False)  # submits now raise
+
+        async def go():
+            return await backend.run_group(SCALE, None, profile, prices)
+
+        try:
+            outcomes = run(go())
+        finally:
+            backend.close()
+        assert all(error == "" for *_rest, error in outcomes)
+        assert backend.fallbacks == 1
+        assert len(outcomes) == 1 + len(prices)
+
+
+class TestAppBatching:
+    def test_same_profile_cells_share_one_dispatch(self, tmp_path):
+        """Six distinct schemes of one app/dataset: one execute_group."""
+        app = make_app(tmp_path, batch_window_s=0.05)
+        cells = [parse_price({"app": "dc", "scheme": scheme,
+                              "dataset": "arb"})
+                 for scheme in SCHEMES]
+
+        async def go():
+            try:
+                return await asyncio.gather(
+                    *(app.price(cell) for cell in cells))
+            finally:
+                app.close()
+
+        results = run(go())
+        assert app.computes == len(SCHEMES)
+        assert Counter(s for _m, s in results) == \
+            {"computed": len(SCHEMES)}
+        assert app.batcher.batches == 1
+        assert app.batcher.max_batch == len(SCHEMES)
+        assert app.backend.stats()["dispatches"] == 1
+        assert app.admission.admitted == 1  # admission gates dispatches
+
+    def test_distinct_profiles_dispatch_independently(self, tmp_path):
+        app = make_app(tmp_path, batch_window_s=0.05)
+        cells = [parse_price({"app": "dc", "scheme": "push",
+                              "dataset": dataset})
+                 for dataset in ("arb", "ukl")]
+
+        async def go():
+            try:
+                return await asyncio.gather(
+                    *(app.price(cell) for cell in cells))
+            finally:
+                app.close()
+
+        run(go())
+        assert app.batcher.batches == 2
+        assert app.backend.stats()["dispatches"] == 2
+
+    def test_batch_results_are_write_through_and_correct(self, tmp_path):
+        """Batched pricing must agree with the jobs layer, cell by
+        cell, and land every result in both store tiers."""
+        from repro.jobs.executor import execute_group
+        app = make_app(tmp_path, batch_window_s=0.05)
+        cells = [parse_price({"app": "bfs", "scheme": scheme,
+                              "dataset": "arb"})
+                 for scheme in ("push", "phi+spzip")]
+
+        async def go():
+            try:
+                return await asyncio.gather(
+                    *(app.price(cell) for cell in cells))
+            finally:
+                app.close()
+
+        results = run(go())
+        graph = build_job_graph(cells)
+        ((profile, prices),) = graph.groups()
+        reference = {job_id: metrics for job_id, metrics, *_rest
+                     in execute_group(SCALE, None, profile, prices)
+                     if metrics is not None}
+        for cell, (metrics, _source) in zip(cells, results):
+            expected = reference[graph.request_jobs[cell]]
+            assert metrics.cycles == expected.cycles
+            assert metrics.total_traffic == expected.total_traffic
+            key = app.request_key(cell)
+            assert app.store.get_hot(key) is metrics
+            assert app.store.disk.get(key) is not None
+
+    def test_app_on_process_backend_end_to_end(self, tmp_path):
+        app = make_app(tmp_path, backend="process", workers=2,
+                       batch_window_s=0.05)
+        cells = [parse_price({"app": "dc", "scheme": scheme,
+                              "dataset": "ukl"})
+                 for scheme in ("push", "phi")]
+
+        async def go():
+            try:
+                return await asyncio.gather(
+                    *(app.price(cell) for cell in cells))
+            finally:
+                app.close()
+
+        results = run(go())
+        assert app.computes == 2
+        assert all(metrics.cycles > 0 for metrics, _s in results)
+        assert app.backend.name == "process"
+        assert app.stats()["backend"]["name"] == "process"
+        # Served again: the hot tier answers, no second dispatch.
+        app2_dispatches = app.backend.stats()["dispatches"]
+        assert app2_dispatches == 1
+
+    def test_one_bad_cell_does_not_sink_its_batch(self, tmp_path):
+        app = make_app(tmp_path, batch_window_s=0.05)
+        good = parse_price({"app": "dc", "scheme": "push",
+                            "dataset": "arb"})
+        bad = parse_price({"app": "dc", "scheme": "phi",
+                           "dataset": "arb"})
+        bad_id = build_job_graph([bad]).request_jobs[bad]
+        original = app.backend.run_group
+
+        async def sabotage(scale, system, profile, prices):
+            outcomes = await original(scale, system, profile, prices)
+            return [(job_id, None, wall, pid, "boom")
+                    if job_id == bad_id else
+                    (job_id, metrics, wall, pid, error)
+                    for job_id, metrics, wall, pid, error in outcomes]
+
+        app.backend.run_group = sabotage
+
+        async def go():
+            try:
+                return await asyncio.gather(app.price(good),
+                                            app.price(bad),
+                                            return_exceptions=True)
+            finally:
+                app.close()
+
+        good_result, bad_result = run(go())
+        assert good_result[0].cycles > 0
+        from repro.serve import ComputeError
+        assert isinstance(bad_result, ComputeError)

@@ -39,6 +39,42 @@ class TestReadThrough:
         assert store.hot_hits == 1
 
 
+class TestFalsyValues:
+    """A cached falsy value must hit, not read as a miss forever."""
+
+    @pytest.mark.parametrize("value", [None, 0, 0.0, False, "", {}, []])
+    def test_falsy_round_trip_hits_hot(self, value):
+        store = TieredStore()
+        store.put(KEY_A, value)
+        assert store.get_hot(KEY_A) == value
+        assert store.get(KEY_A) == value
+        assert store.hot_hits == 2
+        assert store.misses == 0
+
+    def test_absence_still_reports_default(self):
+        store = TieredStore()
+        sentinel = object()
+        assert store.get_hot(KEY_A, sentinel) is sentinel
+        assert store.get(KEY_A, sentinel) is sentinel
+        assert store.misses == 1  # only the full get counts a miss
+
+    def test_none_value_distinguishable_via_default(self):
+        store = TieredStore()
+        store.put(KEY_A, None)
+        sentinel = object()
+        assert store.get_hot(KEY_A, sentinel) is None  # a real hit
+        assert store.hot_hits == 1
+
+    def test_falsy_entry_tracks_lru_recency(self):
+        store = TieredStore(hot_capacity=2)
+        store.put(KEY_A, 0)
+        store.put(KEY_B, 2)
+        assert store.get_hot(KEY_A) == 0  # refreshes A's recency
+        store.put(KEY_C, 3)  # so B is the eviction victim
+        assert store.get_hot(KEY_A) == 0
+        assert store.get_hot(KEY_B) is None
+
+
 class TestEviction:
     def test_lru_eviction_at_capacity(self, tmp_path):
         store = TieredStore(ResultCache(str(tmp_path)), hot_capacity=2)
