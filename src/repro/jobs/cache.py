@@ -109,14 +109,26 @@ class ResultCache:
         for dirpath, _dirnames, filenames in os.walk(self._objects):
             for name in filenames:
                 if name.endswith(".pkl"):
+                    try:
+                        size = os.path.getsize(os.path.join(dirpath,
+                                                            name))
+                    except OSError:
+                        # A concurrent prune/get raced us; the entry is
+                        # simply gone — don't count it, don't die.
+                        continue
                     entries += 1
-                    nbytes += os.path.getsize(os.path.join(dirpath,
-                                                           name))
+                    nbytes += size
         return {"entries": entries, "bytes": nbytes,
                 "corrupt_dropped": self.corrupt_dropped}
 
     def prune(self, live_keys) -> Tuple[int, int]:
-        """Drop entries not in ``live_keys``; returns (kept, removed)."""
+        """Drop entries not in ``live_keys``; returns (kept, removed).
+
+        Safe against concurrent writers: an entry that vanishes between
+        the scan and the unlink counts as removed (someone beat us to
+        it), not as an error.  Also sweeps orphaned ``*.tmp`` files a
+        crashed writer may have left next to the objects.
+        """
         live = set(live_keys)
         kept = removed = 0
         for key in self.keys():
@@ -126,9 +138,18 @@ class ResultCache:
                 try:
                     os.remove(self._path(key))
                     removed += 1
+                except FileNotFoundError:
+                    removed += 1
                 except OSError as exc:
                     self._report(f"could not prune entry {key} "
                                  f"({exc!r})")
+        for dirpath, _dirnames, filenames in os.walk(self._objects):
+            for name in filenames:
+                if name.endswith(".tmp"):
+                    try:
+                        os.remove(os.path.join(dirpath, name))
+                    except OSError:
+                        pass
         return kept, removed
 
 

@@ -12,10 +12,11 @@ a process boundary (though they can — see
 Execution policy:
 
 * ``jobs == 1`` runs everything in-process on one shared
-  :class:`~repro.sim.runner.Runner` (no pool, no pickling);
+  :class:`~repro.stages.StagePricer` (no pool, no pickling);
 * ``jobs > 1`` uses a ``ProcessPoolExecutor``; each worker memoizes one
-  Runner per (scale, system) so successive groups on the same worker
-  reuse its workloads and profiles;
+  StagePricer per (scale, system, cache root) so successive groups on
+  the same worker reuse its profile bundles, and all workers share the
+  dispatcher's content-addressed stage store;
 * a group that fails or times out is retried up to ``retries`` times,
   then re-run in-process as a last resort (which also transparently
   covers payloads the pool cannot pickle);
@@ -55,50 +56,62 @@ from repro.sim.metrics import RunMetrics
 #: (job_id, result or None, wall seconds, worker pid, error string).
 JobOutcome = Tuple[str, Optional[RunMetrics], float, int, str]
 
-#: Per-process Runner memo (worker side), keyed by (scale, system).
-_WORKER_RUNNERS: Dict[Tuple[int, Optional[SystemConfig]], object] = {}
+#: Per-process StagePricer memo (worker side), keyed by
+#: (scale, system, cache root): successive groups on one worker reuse
+#: its in-memory profile bundles, and — when a cache root is given —
+#: every worker reads/writes the same content-addressed stage store.
+_WORKER_PRICERS: Dict[Tuple[int, Optional[SystemConfig], Optional[str]],
+                      object] = {}
 
 
-def _runner_for(scale: int, system: Optional[SystemConfig]):
-    from repro.sim.runner import Runner
-    key = (scale, system)
-    if key not in _WORKER_RUNNERS:
-        _WORKER_RUNNERS[key] = Runner(scale=scale, system=system)
-    return _WORKER_RUNNERS[key]
+def _pricer_for(scale: int, system: Optional[SystemConfig],
+                cache_root: Optional[str]):
+    from repro.jobs.cache import ResultCache
+    from repro.stages import StagePricer
+    key = (scale, system, cache_root)
+    if key not in _WORKER_PRICERS:
+        cache = ResultCache(cache_root) if cache_root else None
+        _WORKER_PRICERS[key] = StagePricer(scale=scale, system=system,
+                                           cache=cache)
+    return _WORKER_PRICERS[key]
 
 
 def execute_group(scale: int, system: Optional[SystemConfig],
-                  profile: JobSpec,
-                  prices: List[JobSpec]) -> List[JobOutcome]:
-    """Run one profile job and its price jobs on this process's Runner.
+                  profile: JobSpec, prices: List[JobSpec],
+                  cache_root: Optional[str] = None) -> List[JobOutcome]:
+    """Run one profile job and its price jobs on this process's pricer.
 
     Module-level so the process pool can pickle it by reference; also
     the serial path's implementation.  Failures are captured per job so
     one bad configuration cannot take down its group's siblings.
+    ``cache_root`` points the worker's stage pipeline at the dispatching
+    process's content-addressed store, so stage artifacts persist across
+    workers and runs (None keeps them in worker memory only).
 
     When the dispatching executor is tracing, pool workers see
     :data:`~repro.obs.REPRO_TRACE_DIR` in their environment while the
     tracer is *not* active in their process — that combination marks
     this call as a traced worker: spans recorded here (the group span
-    and everything the runner nests under it) are appended to a
+    and everything the pipeline nests under it) are appended to a
     per-pid part file for the parent to adopt and re-parent.
     """
     trace_dir = os.environ.get(REPRO_TRACE_DIR)
     if trace_dir and not TRACER.active:
         TRACER.start()
         try:
-            return _execute_group(scale, system, profile, prices)
+            return _execute_group(scale, system, profile, prices,
+                                  cache_root)
         finally:
             TRACER.flush_part(os.path.join(
                 trace_dir, f"worker-{os.getpid()}.jsonl"))
             TRACER.stop()
-    return _execute_group(scale, system, profile, prices)
+    return _execute_group(scale, system, profile, prices, cache_root)
 
 
 def _execute_group(scale: int, system: Optional[SystemConfig],
-                   profile: JobSpec,
-                   prices: List[JobSpec]) -> List[JobOutcome]:
-    runner = _runner_for(scale, system)
+                   profile: JobSpec, prices: List[JobSpec],
+                   cache_root: Optional[str] = None) -> List[JobOutcome]:
+    pricer = _pricer_for(scale, system, cache_root)
     pid = os.getpid()
     outcomes: List[JobOutcome] = []
     with TRACER.span("jobs.group", job_id=profile.job_id,
@@ -112,8 +125,8 @@ def _execute_group(scale: int, system: Optional[SystemConfig],
             with TRACER.span("jobs.profile", job_id=profile.job_id,
                              app=profile.app, dataset=profile.dataset,
                              preprocessing=profile.preprocessing):
-                runner.profiles(profile.app, profile.dataset,
-                                profile.preprocessing)
+                pricer.ensure(profile.app, profile.dataset,
+                              profile.preprocessing)
             outcomes.append((profile.job_id, None,
                              time.monotonic() - start, pid, ""))
         except Exception as exc:  # profiling failed: poisons the group
@@ -130,9 +143,10 @@ def _execute_group(scale: int, system: Optional[SystemConfig],
                                  app=job.app, scheme=job.scheme,
                                  dataset=job.dataset,
                                  preprocessing=job.preprocessing):
-                    metrics = runner.run(job.app, job.scheme,
-                                         job.dataset, job.preprocessing,
-                                         **params_to_kwargs(job.params))
+                    metrics = pricer.price(job.app, job.scheme,
+                                           job.dataset,
+                                           job.preprocessing,
+                                           **params_to_kwargs(job.params))
                 outcomes.append((job.job_id, metrics,
                                  time.monotonic() - start, pid, ""))
             except Exception as exc:
@@ -220,6 +234,9 @@ class JobExecutor:
         self.system = system
         self.jobs = jobs
         self.cache = cache if cache is not None else NullCache()
+        # Workers read/write stage artifacts through the same
+        # content-addressed store that holds final cell results.
+        self._cache_root = getattr(self.cache, "root", None)
         self.telemetry = telemetry if telemetry is not None \
             else TelemetryWriter(path=None)
         self.timeout = timeout
@@ -291,11 +308,21 @@ class JobExecutor:
                     dataset=profile.dataset,
                     preprocessing=profile.preprocessing))
         if pending:
+            from repro.stages import stage_counters
+            before = stage_counters()
             if self.jobs == 1 or len(pending) == 1:
                 outcomes = self._run_serial(pending)
             else:
                 outcomes = self._run_pool(pending)
             self._absorb(outcomes, keys, results)
+            delta = {k: v - before.get(k, 0)
+                     for k, v in stage_counters().items()
+                     if v - before.get(k, 0)}
+            if delta:
+                # In-process stage activity only; pool workers report
+                # theirs through adopted stage.* spans when tracing.
+                self._progress("stages: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(delta.items())))
 
         summary = self.telemetry.finish()
         self._progress(
@@ -336,12 +363,12 @@ class JobExecutor:
         for index, (profile, prices) in enumerate(pending):
             attempt = 0
             group = execute_group(self.scale, self.system, profile,
-                                  prices)
+                                  prices, self._cache_root)
             while self._group_has_failure(group) and \
                     attempt < self.retries:
                 attempt += 1
                 group = execute_group(self.scale, self.system, profile,
-                                      prices)
+                                      prices, self._cache_root)
             for outcome in group:
                 outcomes[outcome[0]] = (outcome, attempt)
             self._progress(f"group {index + 1}/{len(pending)}: "
@@ -374,7 +401,8 @@ class JobExecutor:
             futures = {}
             for profile, prices in pending:
                 future = pool.submit(execute_group, self.scale,
-                                     self.system, profile, prices)
+                                     self.system, profile, prices,
+                                     self._cache_root)
                 futures[future] = (profile, prices, 0)
                 dispatched[profile.job_id] = time.monotonic()
             while futures:
@@ -402,7 +430,8 @@ class JobExecutor:
                         try:
                             retry = pool.submit(execute_group,
                                                 self.scale, self.system,
-                                                profile, prices)
+                                                profile, prices,
+                                                self._cache_root)
                             futures[retry] = (profile, prices,
                                               attempt + 1)
                             continue
@@ -412,7 +441,8 @@ class JobExecutor:
                                 f"failed with {exc!r}; running "
                                 f"in-process")
                     group = execute_group(self.scale, self.system,
-                                          profile, prices)
+                                          profile, prices,
+                                          self._cache_root)
                     attempt += 1
                 for outcome in group:
                     outcomes[outcome[0]] = (outcome, attempt)

@@ -17,8 +17,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 from dataclasses import asdict, is_dataclass
 from functools import lru_cache
+from typing import Dict, Iterable, Tuple
 
 from repro.config import SystemConfig
 from repro.jobs.model import JobSpec
@@ -49,6 +51,130 @@ def code_salt() -> str:
             with open(path, "rb") as handle:
                 digest.update(handle.read())
     return digest.hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------
+# Stage-level fingerprints (the staged pricing pipeline, repro.stages)
+# --------------------------------------------------------------------------
+
+#: Source dependencies of each pricing stage, relative to ``src/repro``
+#: (a directory hashes every ``.py`` beneath it).  A stage's salt
+#: rotates only when code that can change *its* output changes, so an
+#: edit to the timing model leaves stream/replay/compress artifacts
+#: valid.  Shared low-level modules (``runtime/traffic.py``,
+#: ``memory/address.py``) appear in several stages deliberately: an
+#: edit there conservatively invalidates them all.
+STAGE_DEPS: Dict[str, Tuple[str, ...]] = {
+    "stream": ("stages/artifacts.py", "stages/streams.py",
+               "runtime/traffic.py", "runtime/workload.py", "apps",
+               "graph", "sparse", "utils", "memory/address.py"),
+    "replay": ("stages/artifacts.py", "stages/replay.py",
+               "runtime/traffic.py", "memory/address.py",
+               "memory/batch.py"),
+    "compress": ("stages/artifacts.py", "stages/compress.py",
+                 "runtime/traffic.py", "compression",
+                 "graph/idspace.py", "memory/address.py",
+                 "memory/compressed.py", "schemes/pricing.py"),
+    "timing": ("stages/artifacts.py", "stages/timing.py", "schemes",
+               "sim", "runtime/traffic.py", "runtime/scheduling.py",
+               "config.py", "memory/address.py"),
+}
+
+#: Stage evaluation order (each stage keys on the digests of the ones
+#: before it that it consumes).
+STAGE_NAMES = ("stream", "replay", "compress", "timing")
+
+
+@lru_cache(maxsize=None)
+def stage_salt(stage: str) -> str:
+    """Digest of one stage's source dependencies."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    for rel in STAGE_DEPS[stage]:
+        path = os.path.join(root, rel)
+        if os.path.isfile(path):
+            digest.update(rel.encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+            continue
+        for dirpath, dirnames, filenames in sorted(os.walk(path)):
+            if "__pycache__" in dirpath:
+                dirnames[:] = []
+                continue
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(full, root).encode())
+                with open(full, "rb") as handle:
+                    digest.update(handle.read())
+    return digest.hexdigest()[:16]
+
+
+def stage_config_slice(stage: str, cfg) -> Dict[str, object]:
+    """The model-config knobs one stage's output actually depends on.
+
+    ``cfg`` is a resolved :class:`~repro.runtime.traffic.ModelConfig`
+    (per-input LLC sizing already applied).  Slices hold *resolved*
+    values, so config-construction code changes flow into keys through
+    the values they produce; everything else about the system config is
+    deliberately absent — that is what makes a bandwidth edit reuse
+    frozen replay artifacts.
+    """
+    if stage == "stream":
+        return {}
+    if stage == "replay":
+        return {"llc_lines": cfg.llc_lines,
+                "llc_size_bytes": cfg.system.llc.size_bytes,
+                "bin_llc_fraction": cfg.bin_llc_fraction}
+    if stage == "compress":
+        return {"id_scale": cfg.id_scale,
+                "sort_updates": cfg.sort_updates}
+    if stage == "timing":
+        return {"num_cores": cfg.system.num_cores,
+                "bytes_per_cycle": cfg.system.bytes_per_cycle,
+                "llc_lines": cfg.llc_lines}
+    raise KeyError(f"unknown stage {stage!r}")
+
+
+def stream_fingerprint(app: str, dataset: str, preprocessing: str,
+                       scale: int) -> str:
+    """Cache key of the stream-gen artifact: identity + stream salt.
+
+    Datasets are deterministic functions of (name, preprocessing,
+    scale), so the identity tuple is the content address.
+    """
+    return fingerprint({"stage": "stream",
+                        "salt": stage_salt("stream"),
+                        "app": app, "dataset": dataset,
+                        "preprocessing": preprocessing,
+                        "scale": scale})
+
+
+def stage_fingerprint(stage: str, upstream: Iterable[str],
+                      config_slice: Dict[str, object]) -> str:
+    """Cache key of a downstream stage's artifact.
+
+    ``upstream`` is the *content digests* of the consumed artifacts
+    (not their keys): a stage whose code changed but whose output did
+    not leaves every downstream key intact — early cutoff.
+    """
+    return fingerprint({"stage": stage, "salt": stage_salt(stage),
+                        "upstream": list(upstream),
+                        "config": config_slice})
+
+
+def artifact_digest(value: object) -> str:
+    """Content digest of one stage artifact (chains stage keys).
+
+    Pickled at a pinned protocol so the digest is stable across
+    processes of one interpreter install; artifacts are plain
+    dataclasses of numpy arrays and scalars, which pickle
+    deterministically.
+    """
+    return hashlib.sha256(
+        pickle.dumps(value, protocol=4)).hexdigest()[:16]
 
 
 def _jsonable(value: object) -> object:

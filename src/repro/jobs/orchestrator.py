@@ -7,8 +7,9 @@ changes is where results come from:
 
 1. results prefetched through :meth:`prefetch` (parallel, cached);
 2. otherwise the content-addressed disk cache;
-3. otherwise the inherited in-process simulation path (which then
-   populates the cache).
+3. otherwise the staged pricing pipeline (:mod:`repro.stages`) bound
+   to the same store, which reuses any frozen stage artifacts and then
+   populates the cell-level cache.
 
 Profile-level helpers (``workload``/``profiles``) stay inherited and
 in-process: experiments that inspect raw profiles (fig18's compression
@@ -65,6 +66,7 @@ class JobRunner(Runner):
         self.progress = progress
         self._results: Dict[RunRequest, RunMetrics] = {}
         self._telemetry: Optional[TelemetryWriter] = None
+        self._pricer = None
 
     # -- orchestration -----------------------------------------------------
 
@@ -110,9 +112,17 @@ class JobRunner(Runner):
         key = job_fingerprint(job, self.scale, self.system)
         metrics = self.cache.get(key)
         if metrics is None:
-            metrics = super().run(app, request.scheme, dataset,
-                                  preprocessing,
-                                  **params_to_kwargs(request.params))
+            # Miss path prices through the staged pipeline bound to the
+            # same store, so partial work (frozen streams, replays)
+            # survives even when the cell-level key missed.
+            if self._pricer is None:
+                from repro.stages import StagePricer
+                self._pricer = StagePricer(scale=self.scale,
+                                           system=self.system,
+                                           cache=self.cache)
+            metrics = self._pricer.price(
+                app, request.scheme, dataset, preprocessing,
+                **params_to_kwargs(request.params))
             self.cache.put(key, metrics)
             status = "miss"
         else:

@@ -166,11 +166,26 @@ def rows_compressed_bytes(graph: CsrGraph, sources: np.ndarray,
     flag byte), matching real formats like Ligra+ byte codes.
     """
     deg = graph.out_degrees()[sources]
-    deg = deg[deg > 0]
+    if not np.any(deg > 0):
+        return 0
+    return rows_compressed_bytes_from(gather_rows(graph, sources), deg,
+                                      id_scale)
+
+
+def rows_compressed_bytes_from(ids: np.ndarray, degrees: np.ndarray,
+                               id_scale: int) -> int:
+    """:func:`rows_compressed_bytes` over pre-gathered row streams.
+
+    ``ids`` is the concatenated neighbour stream of the rows and
+    ``degrees`` their per-row lengths (zero-degree rows allowed).  The
+    staged pricing pipeline calls this form on frozen stream artifacts;
+    the graph-accepting wrapper above gathers and delegates, so the two
+    paths share one implementation.
+    """
+    deg = degrees[degrees > 0]
     if deg.size == 0:
         return 0
     with TRACER.span("profile.compress", count=int(deg.sum())):
-        ids = gather_rows(graph, sources)
         expanded = expand_ids(ids, id_scale)
         group_starts = np.concatenate(([0], np.cumsum(deg)[:-1])).astype(
             np.int64)

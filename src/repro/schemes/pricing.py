@@ -208,9 +208,19 @@ def cmh_ratios(workload, cfg) -> Dict[str, float]:
 
 
 def _simulate_cmh(workload, profiles, spec: SchemeSpec, cfg,
-                  dataset: str, preprocessing: str) -> RunMetrics:
-    """Push/UB on the VSC+BDI LLC + LCP memory system (Sec V-D)."""
-    ratios = cmh_ratios(workload, cfg)
+                  dataset: str, preprocessing: str,
+                  ratios: Optional[Dict[str, float]] = None,
+                  replays: Optional[list] = None) -> RunMetrics:
+    """Push/UB on the VSC+BDI LLC + LCP memory system (Sec V-D).
+
+    ``ratios`` and ``replays`` let the staged pipeline price against
+    frozen compress/replay artifacts: ``ratios`` replaces the in-place
+    BDI/LCP sweep and ``replays`` provides one ``(misses, writebacks)``
+    per profile so no iteration stream needs re-replaying (``workload``
+    may then be a lightweight view without real iterations).
+    """
+    if ratios is None:
+        ratios = cmh_ratios(workload, cfg)
     model = _costs.cost_model_for(spec)
     costs = _costs.costs_for(spec)
     # VSC's extra residency for scattered read-modify-write data is
@@ -224,9 +234,12 @@ def _simulate_cmh(workload, profiles, spec: SchemeSpec, cfg,
 
     traffic_parts: List[Dict[str, float]] = []
     work = PhaseWork()
-    for p, it in zip(profiles, workload.iterations):
-        t, w = model.cmh_iteration_cost(workload, p, it, ratios,
-                                        capacity)
+    iterations = workload.iterations if replays is None \
+        else [None] * len(profiles)
+    for index, (p, it) in enumerate(zip(profiles, iterations)):
+        t, w = model.cmh_iteration_cost(
+            workload, p, it, ratios, capacity,
+            replay=None if replays is None else replays[index])
         traffic_parts.append({cls: v * p.weight for cls, v in t.items()})
         scaled = PhaseWork(**{f: getattr(w, f) * p.weight
                               for f in ("edges", "vertices", "updates",

@@ -64,6 +64,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.store import TieredStore
 from repro.sim.metrics import RunMetrics
+from repro.stages import stage_counters
 
 #: Cells one /sweep may expand to (arbitrarily large cross products are
 #: a batch job for ``repro report``, not one HTTP request).
@@ -231,7 +232,8 @@ class ServeApp:
             with TRACER.span("serve.compute", cells=len(cells),
                              profile=profile.job_id):
                 outcomes = await self.backend.run_group(
-                    self.scale, self.system, profile, prices)
+                    self.scale, self.system, profile, prices,
+                    cache_root=self.store.root)
         by_id = {outcome[0]: outcome for outcome in outcomes}
         results: Dict[str, object] = {}
         for request, key in cells:
@@ -386,6 +388,10 @@ class ServeApp:
             "batcher": self.batcher.stats(),
             "backend": self.backend.stats(),
             "store": self.store.stats(),
+            # In-process stage pipeline activity (thread backend and
+            # process-backend fallbacks; pool workers report theirs
+            # through adopted stage.* spans).
+            "stages": stage_counters(),
         }
 
     def _idle_event(self) -> asyncio.Event:

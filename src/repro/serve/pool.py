@@ -6,12 +6,14 @@ groups across requests).  The backend decides what executes them:
 
 ``thread``   a ``ThreadPoolExecutor`` in this process.  Dispatches for
              one profile serialize on a per-profile lock so the
-             process-wide Runner memo is never built twice; distinct
+             process-wide stage-pricer bundle is never built twice; distinct
              profiles still contend on the GIL, so this backend scales
              with I/O overlap, not cores.
 ``process``  a ``ProcessPoolExecutor`` over the PR-1 jobs pool
-             machinery: each worker process memoizes its own Runner per
-             (scale, system), groups shard across workers, and the
+             machinery: each worker process memoizes its own stage
+             pricer per (scale, system, cache root) — all reading
+             through one content-addressed artifact store — groups
+             shard across workers, and the
              GIL stops being the ceiling.  Tracing stays coherent via
              the PR-4 part-file protocol
              (:class:`~repro.jobs.executor.PoolTraceSession`): workers
@@ -51,7 +53,8 @@ class ComputeBackend:
     name = "abstract"
 
     async def run_group(self, scale: int, system: Optional[SystemConfig],
-                        profile: JobSpec, prices: List[JobSpec]
+                        profile: JobSpec, prices: List[JobSpec],
+                        cache_root: Optional[str] = None
                         ) -> List[JobOutcome]:
         raise NotImplementedError
 
@@ -85,22 +88,24 @@ class ThreadBackend(ComputeBackend):
             return lock
 
     def _run_locked(self, scale: int, system: Optional[SystemConfig],
-                    profile: JobSpec, prices: List[JobSpec]
-                    ) -> List[JobOutcome]:
-        # Same-profile dispatches serialize so the in-process Runner
-        # memo is built exactly once per profile.
+                    profile: JobSpec, prices: List[JobSpec],
+                    cache_root: Optional[str]) -> List[JobOutcome]:
+        # Same-profile dispatches serialize so the in-process pricer's
+        # profile bundle is built exactly once per profile.
         with self._profile_lock(profile.job_id):
-            return execute_group(scale, system, profile, prices)
+            return execute_group(scale, system, profile, prices,
+                                 cache_root)
 
     async def run_group(self, scale: int, system: Optional[SystemConfig],
-                        profile: JobSpec, prices: List[JobSpec]
+                        profile: JobSpec, prices: List[JobSpec],
+                        cache_root: Optional[str] = None
                         ) -> List[JobOutcome]:
         self.dispatches += 1
         ctx = contextvars.copy_context()
         return await asyncio.get_running_loop().run_in_executor(
             self._pool,
             lambda: ctx.run(self._run_locked, scale, system, profile,
-                            prices))
+                            prices, cache_root))
 
     def stats(self) -> Dict[str, object]:
         return {"name": self.name, "workers": self.workers,
@@ -154,26 +159,28 @@ class ProcessBackend(ComputeBackend):
 
     async def _run_fallback(self, scale: int,
                             system: Optional[SystemConfig],
-                            profile: JobSpec, prices: List[JobSpec]
+                            profile: JobSpec, prices: List[JobSpec],
+                            cache_root: Optional[str] = None
                             ) -> List[JobOutcome]:
         self.fallbacks += 1
         ctx = contextvars.copy_context()
         return await asyncio.get_running_loop().run_in_executor(
             self._fallback_pool,
             lambda: ctx.run(execute_group, scale, system, profile,
-                            prices))
+                            prices, cache_root))
 
     async def run_group(self, scale: int, system: Optional[SystemConfig],
-                        profile: JobSpec, prices: List[JobSpec]
+                        profile: JobSpec, prices: List[JobSpec],
+                        cache_root: Optional[str] = None
                         ) -> List[JobOutcome]:
         self.dispatches += 1
         if self._pool is None:
             return await self._run_fallback(scale, system, profile,
-                                            prices)
+                                            prices, cache_root)
         start = time.monotonic()
         try:
             future = self._pool.submit(execute_group, scale, system,
-                                       profile, prices)
+                                       profile, prices, cache_root)
             outcomes = await asyncio.wrap_future(future)
         except asyncio.CancelledError:
             raise
@@ -181,7 +188,7 @@ class ProcessBackend(ComputeBackend):
             # Broken pool, unpicklable payload, dead worker: serve the
             # group in-process rather than failing the whole batch.
             return await self._run_fallback(scale, system, profile,
-                                            prices)
+                                            prices, cache_root)
         self._trace.record_dispatch(profile, start, 1)
         return outcomes
 

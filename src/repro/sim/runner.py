@@ -33,6 +33,25 @@ from repro.sim.metrics import RunMetrics
 LLC_DEST_RESIDENCY = 0.85
 
 
+def sized_model_config(system: SystemConfig, scale: int,
+                       num_vertices: int) -> ModelConfig:
+    """Model config with the LLC sized for one input (see above).
+
+    Pure function of (system, scale, vertex count) so the memoizing
+    :class:`Runner` and the staged pricing pipeline
+    (:mod:`repro.stages`) resolve identical per-input configurations —
+    the staged path fingerprints the *resolved* LLC geometry, so any
+    change to this sizing logic flows into stage cache keys through the
+    values it produces.
+    """
+    from dataclasses import replace
+    target = int(LLC_DEST_RESIDENCY * num_vertices * 4)
+    granule = system.llc.ways * system.llc.line_bytes
+    size = max(granule * 4, (target // granule) * granule)
+    llc = replace(system.llc, size_bytes=size)
+    return ModelConfig(system=replace(system, llc=llc), id_scale=scale)
+
+
 class Runner:
     """Memoizing simulation front end."""
 
@@ -58,15 +77,8 @@ class Runner:
         """
         key = f"{workload.app}/{workload.graph.content_digest()}"
         if key not in self._cfgs:
-            from dataclasses import replace
-            target = int(LLC_DEST_RESIDENCY
-                         * workload.graph.num_vertices * 4)
-            granule = self.system.llc.ways * self.system.llc.line_bytes
-            size = max(granule * 4, (target // granule) * granule)
-            llc = replace(self.system.llc, size_bytes=size)
-            system = replace(self.system, llc=llc)
-            self._cfgs[key] = ModelConfig(system=system,
-                                          id_scale=self.scale)
+            self._cfgs[key] = sized_model_config(
+                self.system, self.scale, workload.graph.num_vertices)
         return self._cfgs[key]
 
     # -- building blocks -------------------------------------------------------

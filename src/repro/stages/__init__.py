@@ -1,0 +1,29 @@
+"""Content-addressed stage-graph pricing pipeline.
+
+Factors the monolithic per-cell pricing path into four pure stages —
+stream-gen → cache-replay → compress → timing — whose artifacts persist
+in the result cache under fingerprints of (stage code salt, upstream
+artifact digests, stage-relevant config slice).  See docs/PIPELINE.md.
+"""
+
+from repro.stages.artifacts import (
+    CompressArtifact,
+    ReplayArtifact,
+    StreamArtifact,
+)
+from repro.stages.pipeline import (
+    ProfileBundle,
+    StagePricer,
+    reset_stage_counters,
+    stage_counters,
+)
+
+__all__ = [
+    "CompressArtifact",
+    "ProfileBundle",
+    "ReplayArtifact",
+    "StagePricer",
+    "StreamArtifact",
+    "reset_stage_counters",
+    "stage_counters",
+]

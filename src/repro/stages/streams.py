@@ -1,0 +1,117 @@
+"""Stage 1 — stream-gen: raw access streams of one workload.
+
+A pure function of the workload alone (which itself is a deterministic
+function of (app, dataset, preprocessing, scale)): no LLC geometry, no
+codec, no timing constant enters here.  Everything downstream — cache
+replays, compression measurement, cost models — prices these frozen
+streams, so a timing or codec change never regenerates them.
+
+The quantities mirror :func:`repro.runtime.traffic._profile_iteration`'s
+opening section exactly; the randomized parity suite
+(``tests/test_stages_parity.py``) holds the staged path bit-identical to
+the monolithic profiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.traffic import (
+    _ceil_lines,
+    _row_line_bytes,
+    _scattered_line_bytes,
+    _transpose_of,
+    gather_rows,
+)
+from repro.runtime.workload import Workload
+from repro.stages.artifacts import IterationStreams, StreamArtifact
+
+
+def generate_streams(workload: Workload) -> StreamArtifact:
+    """Record every raw stream the strategies will price."""
+    graph = workload.graph
+    degrees = graph.out_degrees()
+    num_vertices = graph.num_vertices
+    svb = workload.src_value_bytes
+
+    # Pull's transposed walk applies to all-active iterations with
+    # source data; record its streams once when any iteration qualifies.
+    need_pull = bool(svb) and any(it.sources.size >= num_vertices
+                                  for it in workload.iterations)
+    if need_pull:
+        transposed = _transpose_of(graph)
+        pull_neighbors = transposed.neighbors
+        pull_degrees = transposed.out_degrees()
+        pull_adj_bytes = _row_line_bytes(
+            transposed, np.arange(transposed.num_vertices))
+    else:
+        pull_neighbors = np.empty(0, dtype=graph.neighbors.dtype)
+        pull_degrees = np.empty(0, dtype=np.int64)
+        pull_adj_bytes = 0
+
+    iterations = []
+    for it in workload.iterations:
+        sources = it.sources
+        all_active = sources.size >= num_vertices
+        active_degrees = degrees[sources]
+        num_edges = int(active_degrees.sum())
+
+        if all_active:
+            offsets_bytes = _ceil_lines((num_vertices + 1) * 8)
+        else:
+            offsets_bytes = _scattered_line_bytes(sources, 8)
+        neigh_bytes = _row_line_bytes(graph, sources)
+        dsts = gather_rows(graph, sources)
+
+        edge_values = workload.extras.get("edge_values")
+        edge_value_bytes = _ceil_lines(
+            num_edges * edge_values.dtype.itemsize) \
+            if edge_values is not None else 0
+
+        if svb == 0:
+            src_bytes = 0
+        elif all_active:
+            src_bytes = _ceil_lines(num_vertices * svb)
+        else:
+            src_bytes = _scattered_line_bytes(sources, svb)
+        # Source values only feed the compress stage on the all-active
+        # path (scattered accesses cannot use compressed layouts).
+        src_values = it.src_values if (svb and all_active) \
+            else np.empty(0, dtype=np.uint8)
+
+        frontier_bytes = _ceil_lines(sources.size * 4) * 2 \
+            if workload.frontier_based else 0
+        update_bytes = _ceil_lines(num_edges * workload.update_bytes)
+
+        iterations.append(IterationStreams(
+            weight=it.weight,
+            num_sources=int(sources.size),
+            num_edges=num_edges,
+            all_active=all_active,
+            sources=sources,
+            active_degrees=active_degrees,
+            dsts=dsts,
+            src_values=src_values,
+            update_values=it.update_values,
+            offsets_bytes=offsets_bytes,
+            neigh_bytes=neigh_bytes,
+            edge_value_bytes=edge_value_bytes,
+            src_bytes=src_bytes,
+            frontier_bytes=frontier_bytes,
+            update_bytes=update_bytes,
+        ))
+
+    return StreamArtifact(
+        num_vertices=num_vertices,
+        dst_value_bytes=workload.dst_value_bytes,
+        src_value_bytes=svb,
+        update_bytes=workload.update_bytes,
+        frontier_based=workload.frontier_based,
+        neighbors=graph.neighbors,
+        dst_values=workload.dst_values,
+        edge_values=workload.extras.get("edge_values"),
+        pull_neighbors=pull_neighbors,
+        pull_degrees=pull_degrees,
+        pull_adj_bytes=pull_adj_bytes,
+        iterations=iterations,
+    )

@@ -266,7 +266,10 @@ class TestExecutor:
         results = executor.run(list(REQUESTS))
         assert list(results) == REQUESTS  # deterministic order
         assert telemetry.cache_misses == len(REQUESTS) + 1  # + profile
-        assert cache.stats()["entries"] == len(REQUESTS)
+        # One cell result per request, plus the staged pipeline's
+        # artifacts: one stream/replay/compress for the shared profile
+        # and one timing entry per cell.
+        assert cache.stats()["entries"] == 2 * len(REQUESTS) + 3
 
     def test_warm_cache_skips_profiling(self, tmp_path):
         cache = ResultCache(str(tmp_path))

@@ -248,8 +248,10 @@ class TestAppBatching:
         bad_id = build_job_graph([bad]).request_jobs[bad]
         original = app.backend.run_group
 
-        async def sabotage(scale, system, profile, prices):
-            outcomes = await original(scale, system, profile, prices)
+        async def sabotage(scale, system, profile, prices,
+                           cache_root=None):
+            outcomes = await original(scale, system, profile, prices,
+                                      cache_root=cache_root)
             return [(job_id, None, wall, pid, "boom")
                     if job_id == bad_id else
                     (job_id, metrics, wall, pid, error)
