@@ -19,25 +19,32 @@ event-driven core (skip-ahead + bursts) on an MLP-limited configuration
 (single-outstanding-line access unit, 300-cycle memory), with the two
 modes asserted cycle-identical before either is timed.
 
+Three further sections time the array-native profiling front end
+(PR 9) against its scalar oracles: the per-strategy stream generators
+(``stream_gen``), the vectorized codec size models (``codec_sizing``),
+and a full ``profile_iteration`` vs ``profile_iteration_scalar`` run
+(``profile_iteration`` — the end-to-end proxy for full-report
+wall-clock).  Each is asserted bit-identical before timing.
+
 Every kernel result is checked against the scalar reference before
-timings are recorded in ``BENCH_pr5.json``.  Exits nonzero if any
+timings are recorded in ``BENCH_pr9.json``.  Exits nonzero if any
 kernel diverges, the binned Push-scatter speedup falls below the 3x
-floor, the event-driven engine speedup falls below the 5x floor, or
-active tracing costs more than :data:`TRACING_OVERHEAD_CEILING` on the
-span-per-stream replay run.
+floor, the event-driven engine or any array-native section falls below
+its 5x floor, or active tracing costs more than
+:data:`TRACING_OVERHEAD_CEILING` on the span-per-stream replay run.
 
 The replay section names (``push_scatter_binned`` ...) match the
-committed ``BENCH_pr4.json`` baseline, so the two diff cleanly (the
-``engine_drive`` section is new in this file and simply doesn't
+committed ``BENCH_pr5.json`` baseline, so the two diff cleanly (the
+array-native sections are new in this file and simply don't
 participate)::
 
-    PYTHONPATH=src python -m repro perf diff BENCH_pr4.json \
-        --against BENCH_pr5.json
+    PYTHONPATH=src python -m repro perf diff BENCH_pr5.json \
+        --against BENCH_pr9.json
 
 Run with::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py \
-        [--out BENCH_pr5.json] [--trace TRACE.jsonl]
+        [--out BENCH_pr9.json] [--trace TRACE.jsonl]
 """
 
 from __future__ import annotations
@@ -79,6 +86,11 @@ SCATTER_SPEEDUP_FLOOR = 3.0
 #: Minimum acceptable speedup of the event-driven engine core over the
 #: per-cycle reference on the MLP-limited traversal below.
 ENGINE_SPEEDUP_FLOOR = 5.0
+
+#: Minimum acceptable speedup of each array-native section (stream
+#: generation, codec sizing, full iteration profile) over its scalar
+#: oracle.
+ARRAY_NATIVE_SPEEDUP_FLOOR = 5.0
 
 #: Maximum acceptable fractional slowdown of a span-per-stream replay
 #: run with the tracer recording vs. inactive (5%).
@@ -281,6 +293,132 @@ def bench_engine_drive(walk=1000, mem_latency=300):
     }
 
 
+def bench_stream_gen():
+    """Array-native stream generators vs their scalar oracles.
+
+    One representative pass per strategy over a sparse frontier of a
+    mid-size community graph: the CSR row gather, Push's destination
+    scatter lines, Update Batching's bin-stable sort, and Pull's
+    line-granular gather.  Outputs are asserted identical before the
+    two sides are timed as one aggregate.
+    """
+    from repro.runtime import traffic_array as ta
+
+    graph = community_graph(8000, 110_000, seed_stream="perf9")
+    degrees = graph.out_degrees()
+    sources = np.arange(0, graph.num_vertices, 2)
+    dsts = ta.gather_row_stream(graph.offsets, graph.neighbors,
+                                degrees, sources, graph.num_vertices)
+    values = (dsts.astype(np.uint64) * 2654435761).astype(np.uint32)
+    vpb = BIN_VERTICES
+
+    def fast():
+        d = ta.gather_row_stream(graph.offsets, graph.neighbors,
+                                 degrees, sources, graph.num_vertices)
+        return (d, ta.push_scatter_lines(d, 4),
+                ta.ub_bin_stream(d, values, vpb),
+                ta.pull_gather_lines(d, 4))
+
+    def slow():
+        d = ta.gather_row_stream_scalar(graph.offsets, graph.neighbors,
+                                        degrees, sources,
+                                        graph.num_vertices)
+        return (d, ta.push_scatter_lines_scalar(d, 4),
+                ta.ub_bin_stream_scalar(d, values, vpb),
+                ta.pull_gather_lines_scalar(d, 4))
+
+    f, s = fast(), slow()
+    assert np.array_equal(f[0], s[0]) and np.array_equal(f[1], s[1]) \
+        and all(np.array_equal(a, b) if isinstance(a, np.ndarray)
+                else a == b for a, b in zip(f[2], s[2])) \
+        and np.array_equal(f[3], s[3]), "stream generators diverged"
+    scalar_s, _ = timeit(slow)
+    batch_s, _ = timeit(fast)
+    return {
+        "edges": int(dsts.size),
+        "sources": int(sources.size),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def bench_codec_sizing(elems=32_768):
+    """Vectorized ``encoded_size`` vs the scalar-encoder oracle.
+
+    Aggregates every registered codec over one id-like and one
+    value-like array; ``oracle_size`` *is* ``len(encode(...))``, so the
+    scalar leg pays for real encoding while the vectorized leg prices
+    the same bytes in closed form.  Sizes are asserted equal per codec
+    before timing.
+    """
+    from repro.compression import available_codecs, make_codec
+
+    rng = np.random.default_rng(17)
+    ids = np.sort(rng.integers(0, 4 * elems, elems, dtype=np.uint64)
+                  .astype(np.uint32))
+    vals = rng.integers(0, 2 ** 32, elems, dtype=np.uint64)
+    codecs = [make_codec(name) for name in available_codecs()]
+    for codec in codecs:
+        for data in (ids, vals):
+            assert codec.encoded_size(data) == codec.oracle_size(data), \
+                f"{codec!r} size model diverged from its encoder"
+
+    def total(sizer):
+        return sum(sizer(codec, data)
+                   for codec in codecs for data in (ids, vals))
+
+    scalar_s, scalar_total = timeit(
+        lambda: total(lambda c, d: c.oracle_size(d)))
+    batch_s, batch_total = timeit(
+        lambda: total(lambda c, d: c.encoded_size(d)))
+    assert scalar_total == batch_total
+    return {
+        "codecs": len(codecs),
+        "elems": elems,
+        "total_bytes": int(batch_total),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def bench_profile_iteration():
+    """Full-report proxy: one vectorized vs scalar iteration profile.
+
+    ``profile_iteration`` is the per-cell unit of every figure's
+    full-report sweep; the scalar oracle rebuilds the identical
+    ``IterationProfile`` vertex by vertex.  Equality is asserted first,
+    then each side is timed (the scalar side once — it is the slow
+    leg by design).
+    """
+    from repro.apps import pagerank
+    from repro.config import SystemConfig
+    from repro.runtime import ModelConfig, profile_iteration
+    from repro.runtime import traffic_array as ta
+
+    graph = community_graph(4000, 52_000, seed_stream="perf9-profile")
+    workload = pagerank.build_workload(graph)
+    cfg = ModelConfig(system=SystemConfig().scaled(4096), id_scale=4096)
+    iteration = workload.iterations[0]
+
+    fast = profile_iteration(workload, iteration, cfg)
+    slow = ta.profile_iteration_scalar(workload, iteration, cfg)
+    assert fast == slow, "scalar profile oracle diverged"
+    scalar_s, _ = timeit(
+        lambda: ta.profile_iteration_scalar(workload, iteration, cfg),
+        repeats=1)
+    batch_s, _ = timeit(
+        lambda: profile_iteration(workload, iteration, cfg))
+    return {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
 def report(label, row):
     print(f"{label:22s}: {row['scalar_s']:.3f}s scalar / "
           f"{row['batch_s']:.3f}s batch = {row['speedup']:.1f}x",
@@ -289,7 +427,7 @@ def report(label, row):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_pr5.json",
+    parser.add_argument("--out", default="BENCH_pr9.json",
                         help="where to write the results JSON")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="also write a span trace (JSONL) of the "
@@ -330,6 +468,15 @@ def main(argv=None) -> int:
           f"{engine['speedup']:.1f}x "
           f"({engine['engine_cycles']} cycles, "
           f"{engine['skipped_idle_cycles']} skipped)", file=sys.stderr)
+    with TRACER.span("bench.stream_gen"):
+        streams_row = bench_stream_gen()
+    report("stream generation", streams_row)
+    with TRACER.span("bench.codec_sizing"):
+        sizing = bench_codec_sizing()
+    report("codec sizing", sizing)
+    with TRACER.span("bench.profile_iteration"):
+        profile = bench_profile_iteration()
+    report("iteration profile", profile)
     trace_summary = summarize_spans(TRACER.spans)
     if args.trace:
         spans = TRACER.save(args.trace)
@@ -337,7 +484,7 @@ def main(argv=None) -> int:
     TRACER.stop()
 
     record = {
-        "bench": "pr5_event_engine",
+        "bench": "pr9_array_native",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "push_scatter_binned": push,
@@ -345,10 +492,14 @@ def main(argv=None) -> int:
         "phi_coalesce": phi,
         "fast_lru_access_many": cache,
         "engine_drive": engine,
+        "stream_gen": streams_row,
+        "codec_sizing": sizing,
+        "profile_iteration": profile,
         "tracing_overhead": overhead,
         "trace_summary": trace_summary,
         "speedup_floor": SCATTER_SPEEDUP_FLOOR,
         "engine_speedup_floor": ENGINE_SPEEDUP_FLOOR,
+        "array_native_speedup_floor": ARRAY_NATIVE_SPEEDUP_FLOOR,
     }
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
@@ -366,6 +517,14 @@ def main(argv=None) -> int:
               f"{engine['speedup']:.2f}x below "
               f"{ENGINE_SPEEDUP_FLOOR}x floor", file=sys.stderr)
         status = 1
+    for label, row in (("stream-gen", streams_row),
+                       ("codec-sizing", sizing),
+                       ("iteration-profile", profile)):
+        if row["speedup"] < ARRAY_NATIVE_SPEEDUP_FLOOR:
+            print(f"FAIL: {label} speedup {row['speedup']:.2f}x below "
+                  f"{ARRAY_NATIVE_SPEEDUP_FLOOR}x floor",
+                  file=sys.stderr)
+            status = 1
     if overhead["overhead"] > TRACING_OVERHEAD_CEILING:
         print(f"FAIL: tracing overhead "
               f"{100 * overhead['overhead']:.1f}% above "

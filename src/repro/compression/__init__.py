@@ -36,6 +36,16 @@ from repro.compression.registry import (
     register_codec,
 )
 from repro.compression.rle import RleCodec
+from repro.compression.sizes import (
+    bdi_group_sizes,
+    bit_lengths,
+    bpc_group_sizes,
+    delta_group_sizes,
+    for_group_sizes,
+    group_sizes,
+    nibble_group_sizes,
+    rle_group_sizes,
+)
 
 __all__ = [
     "BPC_CHUNK",
@@ -55,6 +65,14 @@ __all__ = [
     "as_unsigned_bits",
     "available_codecs",
     "bdi_decode_line",
+    "bdi_group_sizes",
+    "bit_lengths",
+    "bpc_group_sizes",
+    "delta_group_sizes",
+    "for_group_sizes",
+    "group_sizes",
+    "nibble_group_sizes",
+    "rle_group_sizes",
     "bdi_encode_line",
     "bdi_line_size",
     "bdi_line_sizes",

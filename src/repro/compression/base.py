@@ -83,6 +83,15 @@ class Codec(abc.ABC):
         """Size in bytes of :meth:`encode`'s output (override to vectorize)."""
         return len(self.encode(values))
 
+    def oracle_size(self, values: np.ndarray) -> int:
+        """Scalar-oracle size: what the real encoder emits, byte for byte.
+
+        Vectorized ``encoded_size`` overrides must equal this on every
+        input (enforced by the differential property suite); benchmarks
+        use it as the scalar leg of the speedup measurement.
+        """
+        return len(self.encode(values))
+
     def ratio(self, values: np.ndarray) -> float:
         """Compression ratio (>1 means the codec shrank the data)."""
         raw = values.size * values.dtype.itemsize

@@ -195,10 +195,6 @@ class BdiCodec(Codec):
 
     def encoded_size(self, values: np.ndarray) -> int:
         raw = as_unsigned_bits(values).tobytes()
-        total = 0
-        for start in range(0, len(raw), LINE_BYTES):
-            line = raw[start:start + LINE_BYTES]
-            if len(line) < LINE_BYTES:
-                line = line + bytes(LINE_BYTES - len(line))
-            total += 1 + bdi_line_size(line)
-        return total
+        num_lines = -(-len(raw) // LINE_BYTES)
+        # one size-prefix byte per line + the vectorized line sizes
+        return num_lines + int(bdi_line_sizes(raw).sum())

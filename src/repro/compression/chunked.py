@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import Codec
+from repro.compression.sizes import group_sizes
 
 _LEN_BYTES = 2
 _MAX_CHUNK_PAYLOAD = (1 << (8 * _LEN_BYTES)) - 1
@@ -68,10 +69,12 @@ class ChunkedCodec(Codec):
         return np.concatenate(pieces)
 
     def encoded_size(self, values: np.ndarray) -> int:
-        total = 0
-        for chunk in self._chunks(values):
-            total += _LEN_BYTES + self.inner.encoded_size(chunk)
-        return total
+        if values.size == 0:
+            return 0
+        starts = np.arange(0, values.size, self.chunk_elems,
+                           dtype=np.int64)
+        return int(_LEN_BYTES * starts.size
+                   + group_sizes(self.inner, values, starts).sum())
 
 
 class SortingCodec(Codec):
@@ -84,9 +87,11 @@ class SortingCodec(Codec):
 
     def _sorted_chunks(self, values: np.ndarray) -> np.ndarray:
         out = values.copy()
-        for start in range(0, out.size, self.chunk_elems):
-            chunk = out[start:start + self.chunk_elems]
-            chunk.sort()
+        full = (out.size // self.chunk_elems) * self.chunk_elems
+        if full:
+            out[:full].reshape(-1, self.chunk_elems).sort(axis=1)
+        if full < out.size:
+            out[full:].sort()
         return out
 
     def encode(self, values: np.ndarray) -> bytes:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import Codec, as_unsigned_bits, from_unsigned_bits
-from repro.utils.varint import decode_varint, encode_varint, varint_size
+from repro.utils.varint import decode_varint, encode_varint
 
 #: Default chunk length; 256 is the header's count limit.
 FOR_CHUNK = 64
@@ -111,11 +111,9 @@ class ForCodec(Codec):
                                   dtype)
 
     def encoded_size(self, values: np.ndarray) -> int:
+        from repro.compression.sizes import for_group_sizes
         bits = as_unsigned_bits(values).astype(np.uint64)
-        total = 0
-        for start in range(0, bits.size, self.chunk_elems):
-            chunk = bits[start:start + self.chunk_elems]
-            base = int(chunk.min())
-            width = int((chunk - np.uint64(base)).max()).bit_length()
-            total += 2 + varint_size(base) + (chunk.size * width + 7) // 8
-        return total
+        if bits.size == 0:
+            return 0
+        return int(for_group_sizes(bits, np.zeros(1, dtype=np.int64),
+                                   self.chunk_elems)[0])

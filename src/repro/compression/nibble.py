@@ -117,13 +117,8 @@ class NibbleCodec(Codec):
                                   dtype)
 
     def encoded_size(self, values: np.ndarray) -> int:
+        from repro.compression.sizes import nibble_group_sizes
         bits = as_unsigned_bits(values).astype(np.uint64)
         if bits.size == 0:
             return 0
-        total_bits = nibble_size_bits(_zigzag_int(int(bits[0])))
-        prev = int(bits[0])
-        for current in bits[1:].tolist():
-            total_bits += nibble_size_bits(
-                _zigzag_int(_wrapped_delta(current, prev)))
-            prev = current
-        return (total_bits + 7) // 8
+        return int(nibble_group_sizes(bits, np.zeros(1, dtype=np.int64))[0])

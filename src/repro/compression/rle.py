@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import Codec, as_unsigned_bits, from_unsigned_bits
-from repro.utils.varint import decode_varint, encode_varint, varint_size
+from repro.utils.varint import decode_varint, encode_varint
 
 
 def _runs(bits: np.ndarray):
@@ -69,6 +69,8 @@ class RleCodec(Codec):
                                   dtype)
 
     def encoded_size(self, values: np.ndarray) -> int:
+        from repro.compression.sizes import rle_group_sizes
         bits = as_unsigned_bits(values).astype(np.uint64)
-        return sum(varint_size(length) + varint_size(value)
-                   for length, value in _runs(bits))
+        if bits.size == 0:
+            return 0
+        return int(rle_group_sizes(bits, np.zeros(1, dtype=np.int64))[0])

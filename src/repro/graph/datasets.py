@@ -31,6 +31,7 @@ from typing import Dict, Tuple
 from repro.graph.csr import CsrGraph
 from repro.graph.generators import banded_matrix, community_graph, rmat
 from repro.graph.preprocess import preprocess
+from repro.graph.shared import cached_graph
 
 DEFAULT_SCALE = 4096
 
@@ -70,6 +71,11 @@ def load(name: str, scale: int = DEFAULT_SCALE) -> CsrGraph:
     """Generate (and memoize) the natural-order instance of a dataset."""
     if name not in DATASETS:
         raise KeyError(f"unknown dataset {name!r}; have {sorted(DATASETS)}")
+    return cached_graph(f"load/{name}/{scale}",
+                        lambda: _generate(name, scale))
+
+
+def _generate(name: str, scale: int) -> CsrGraph:
     spec = DATASETS[name]
     vertices, edges = spec.scaled_shape(scale)
     if spec.kind == "web":
@@ -87,9 +93,13 @@ def load_preprocessed(name: str, method: str,
 
     ``method="none"`` reproduces the paper's non-preprocessed baseline
     (randomized ids); other methods are applied to the natural-order
-    instance, as a user with access to the raw input would.
+    instance, as a user with access to the raw input would.  When the
+    shared graph store is active, instances are published there once
+    and memory-mapped by every process instead of regenerated per
+    worker.
     """
-    return preprocess(load(name, scale), method)
+    return cached_graph(f"pre/{name}/{method}/{scale}",
+                        lambda: preprocess(load(name, scale), method))
 
 
 def clear_cache() -> None:

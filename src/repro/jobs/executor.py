@@ -457,4 +457,7 @@ class JobExecutor:
                                f"{profile.job_id}")
         finally:
             pool.shutdown(wait=False)
+            # Drop shared-graph mappings along with the pool.
+            from repro.graph.shared import release_graphs
+            release_graphs()
         return outcomes

@@ -66,18 +66,20 @@ def code_salt() -> str:
 #: edit there conservatively invalidates them all.
 STAGE_DEPS: Dict[str, Tuple[str, ...]] = {
     "stream": ("stages/artifacts.py", "stages/streams.py",
-               "runtime/traffic.py", "runtime/workload.py", "apps",
+               "runtime/traffic.py", "runtime/traffic_array.py",
+               "runtime/workload.py", "apps",
                "graph", "sparse", "utils", "memory/address.py"),
     "replay": ("stages/artifacts.py", "stages/replay.py",
-               "runtime/traffic.py", "memory/address.py",
-               "memory/batch.py"),
+               "runtime/traffic.py", "runtime/traffic_array.py",
+               "memory/address.py", "memory/batch.py"),
     "compress": ("stages/artifacts.py", "stages/compress.py",
-                 "runtime/traffic.py", "compression",
-                 "graph/idspace.py", "memory/address.py",
+                 "runtime/traffic.py", "runtime/traffic_array.py",
+                 "compression", "graph/idspace.py", "memory/address.py",
                  "memory/compressed.py", "schemes/pricing.py"),
     "timing": ("stages/artifacts.py", "stages/timing.py", "schemes",
-               "sim", "runtime/traffic.py", "runtime/scheduling.py",
-               "config.py", "memory/address.py"),
+               "sim", "runtime/traffic.py", "runtime/traffic_array.py",
+               "runtime/scheduling.py", "config.py",
+               "memory/address.py"),
 }
 
 #: Stage evaluation order (each stage keys on the digests of the ones

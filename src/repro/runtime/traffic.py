@@ -24,7 +24,6 @@ pass.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -43,10 +42,19 @@ from repro.memory.batch import (
     previous_occurrence,
 )
 from repro.obs import TRACER
+from repro.runtime.traffic_array import (
+    CHUNK,
+    ceil_lines,
+    gather_row_stream,
+    lru_scatter_oracle,
+    phi_coalesce_oracle,
+    pull_gather_lines,
+    push_scatter_lines,
+    row_line_bytes,
+    scattered_line_bytes,
+    ub_bin_stream,
+)
 from repro.runtime.workload import Iteration, Workload
-
-#: Compression chunk length (paper Sec III-C: 32 elements).
-CHUNK = 32
 
 
 @dataclass
@@ -144,18 +152,9 @@ def _delta_sizes_grouped(values_u64: np.ndarray,
 
 def gather_rows(graph: CsrGraph, sources: np.ndarray) -> np.ndarray:
     """The sources' neighbour ids, back to back, fully vectorized."""
-    degrees = graph.out_degrees()
-    if sources.size >= graph.num_vertices:
-        return graph.neighbors
-    deg = degrees[sources]
-    total = int(deg.sum())
-    if total == 0:
-        return np.empty(0, dtype=graph.neighbors.dtype)
-    # idx[k] = offsets[src] + position-within-row, no Python loop.
-    cum = np.concatenate(([0], np.cumsum(deg)[:-1]))
-    idx = (np.repeat(graph.offsets[sources] - cum, deg)
-           + np.arange(total, dtype=np.int64))
-    return graph.neighbors[idx]
+    return gather_row_stream(graph.offsets, graph.neighbors,
+                             graph.out_degrees(), sources,
+                             graph.num_vertices)
 
 
 def rows_compressed_bytes(graph: CsrGraph, sources: np.ndarray,
@@ -278,28 +277,10 @@ def array_compressed_bytes(values: Optional[np.ndarray],
 # Cache replays
 # --------------------------------------------------------------------------
 
-def _lru_scatter(lines: np.ndarray, capacity: int) -> Tuple[int, int]:
-    """Replay a read-modify-write scatter stream through an LRU cache.
-
-    Returns (misses, dirty writebacks incl. final flush).  This is the
-    scalar reference model; the profiling hot path uses the bit-identical
-    vectorized :func:`lru_scatter_replay` (equivalence is enforced by
-    ``tests/test_batch_equivalence.py``).
-    """
-    cache: "OrderedDict[int, bool]" = OrderedDict()
-    misses = 0
-    writebacks = 0
-    for line in lines.tolist():
-        if line in cache:
-            cache.move_to_end(line)
-        else:
-            misses += 1
-            if len(cache) >= capacity:
-                cache.popitem(last=False)
-                writebacks += 1  # RMW data is always dirty
-            cache[line] = True
-    writebacks += len(cache)  # final flush of dirty lines
-    return misses, writebacks
+# Scalar reference replays now live with the other equivalence oracles
+# in :mod:`repro.runtime.traffic_array`; the old private names stay
+# importable because benchmarks and tests address them here.
+_lru_scatter = lru_scatter_oracle
 
 
 def lru_scatter_replay(lines: np.ndarray, capacity: int
@@ -315,46 +296,7 @@ def lru_scatter_replay(lines: np.ndarray, capacity: int
     return misses, misses
 
 
-def _phi_coalesce(dsts: np.ndarray, values: np.ndarray,
-                  dst_value_bytes: int, capacity_lines: int
-                  ) -> Tuple[np.ndarray, np.ndarray, int]:
-    """Replay PHI's in-cache update coalescing.
-
-    Updates to the same destination line coalesce while the line stays
-    resident; evictions (and the final flush) spill the line's distinct
-    updates.  Returns (spilled dst ids, spilled values, spilled lines).
-    """
-    per_line = max(1, LINE_BYTES // max(4, dst_value_bytes + 4))
-    cache: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
-    spilled_ids: List[int] = []
-    spilled_vals: List[int] = []
-    spilled_lines = 0
-    has_values = values.size == dsts.size
-    vals_iter = values if has_values else np.zeros(dsts.size,
-                                                   dtype=np.uint64)
-    vbits = np.ascontiguousarray(vals_iter).view(
-        np.dtype(f"u{vals_iter.dtype.itemsize}")).astype(np.uint64)
-    for dst, val in zip(dsts.tolist(), vbits.tolist()):
-        line = dst // per_line
-        bucket = cache.get(line)
-        if bucket is None:
-            if len(cache) >= capacity_lines:
-                _evicted, contents = cache.popitem(last=False)
-                spilled_lines += 1
-                spilled_ids.extend(contents.keys())
-                spilled_vals.extend(contents.values())
-            bucket = {}
-            cache[line] = bucket
-        else:
-            cache.move_to_end(line)
-        bucket[dst] = val  # coalesce: commutative update aggregates
-    for _line, contents in cache.items():
-        spilled_lines += 1
-        spilled_ids.extend(contents.keys())
-        spilled_vals.extend(contents.values())
-    return (np.array(spilled_ids, dtype=np.uint32),
-            np.array(spilled_vals, dtype=np.uint64),
-            spilled_lines)
+_phi_coalesce = phi_coalesce_oracle
 
 
 def phi_coalesce_replay(dsts: np.ndarray, values: np.ndarray,
@@ -450,29 +392,12 @@ def phi_coalesce_replay(dsts: np.ndarray, values: np.ndarray,
 def _row_line_bytes(graph: CsrGraph, sources: np.ndarray,
                     elem_bytes: int = 4) -> int:
     """Line-granular bytes to fetch the sources' neighbour rows."""
-    if sources.size == 0:
-        return 0
-    if sources.size >= graph.num_vertices * 0.5:
-        # Near-contiguous scan of the whole neighbours array.
-        return _ceil_lines(graph.num_edges * elem_bytes)
-    starts = graph.offsets[sources] * elem_bytes
-    ends = graph.offsets[sources + 1] * elem_bytes
-    nonempty = ends > starts
-    lines = (ends[nonempty] - 1) // LINE_BYTES \
-        - starts[nonempty] // LINE_BYTES + 1
-    return int(lines.sum()) * LINE_BYTES
+    return row_line_bytes(graph.offsets, graph.num_vertices,
+                          graph.num_edges, sources, elem_bytes)
 
 
-def _scattered_line_bytes(indices: np.ndarray, elem_bytes: int) -> int:
-    """Distinct-line bytes for scattered single-element reads."""
-    if indices.size == 0:
-        return 0
-    lines = np.unique(indices.astype(np.int64) * elem_bytes // LINE_BYTES)
-    return int(lines.size) * LINE_BYTES
-
-
-def _ceil_lines(nbytes: float) -> int:
-    return int(-(-nbytes // LINE_BYTES) * LINE_BYTES)
+_scattered_line_bytes = scattered_line_bytes
+_ceil_lines = ceil_lines
 
 
 # --------------------------------------------------------------------------
@@ -541,8 +466,7 @@ def _profile_iteration(workload: Workload, iteration: Iteration,
     # --- Push destination scatter ---------------------------------------------
     dvb = workload.dst_value_bytes
     dsts = gather_rows(graph, sources)
-    per_line = max(1, LINE_BYTES // dvb)
-    dst_lines = (dsts.astype(np.int64) // per_line)
+    dst_lines = push_scatter_lines(dsts, dvb)
     with TRACER.span("replay.push_scatter", count=int(dst_lines.size)):
         misses, writebacks = lru_scatter_replay(dst_lines,
                                                 cfg.llc_lines)
@@ -553,12 +477,9 @@ def _profile_iteration(workload: Workload, iteration: Iteration,
     vpb = cfg.vertices_per_bin(dvb)
     num_bins = max(1, -(-graph.num_vertices // vpb))
     update_bytes = _ceil_lines(num_edges * workload.update_bytes)
-    bins = dsts.astype(np.int64) // vpb
-    order = np.argsort(bins, kind="stable")
-    sorted_ids = dsts[order].astype(np.uint32)
     upd_vals = iteration.update_values
-    sorted_vals = upd_vals[order] if upd_vals.size == dsts.size \
-        else np.empty(0, dtype=np.uint32)
+    sorted_ids, sorted_vals, touched_bins = ub_bin_stream(dsts, upd_vals,
+                                                          vpb)
     update_bytes_compressed_unsorted = _ceil_lines(
         chunked_ids_values_compressed(sorted_ids, sorted_vals,
                                       cfg.id_scale, sort=False))
@@ -572,9 +493,8 @@ def _profile_iteration(workload: Workload, iteration: Iteration,
             update_bytes_compressed_unsorted)
     else:
         update_bytes_compressed = update_bytes_compressed_unsorted
-    touched_bins = np.unique(bins)
     ub_dest_raw = min(_ceil_lines(graph.num_vertices * dvb),
-                      int(touched_bins.size) * vpb * dvb)
+                      touched_bins * vpb * dvb)
     ub_dest_bytes = 2 * ub_dest_raw  # read + write per pass
     dst_comp = array_compressed_bytes(workload.dst_values)
     dst_total_raw = max(1, graph.num_vertices * dvb)
@@ -609,9 +529,8 @@ def _profile_iteration(workload: Workload, iteration: Iteration,
     pull_adj_bytes_comp = 0
     if all_active and workload.src_value_bytes:
         transposed = _transpose_of(graph)
-        gather_per_line = max(1, LINE_BYTES // workload.src_value_bytes)
-        gather_lines = (transposed.neighbors.astype(np.int64)
-                        // gather_per_line)
+        gather_lines = pull_gather_lines(transposed.neighbors,
+                                         workload.src_value_bytes)
         with TRACER.span("replay.pull_gather",
                          count=int(gather_lines.size)):
             pull_gather_misses, _wb = lru_scatter_replay(gather_lines,

@@ -204,6 +204,9 @@ class ProcessBackend(ComputeBackend):
             self._pool = None
         self._fallback_pool.shutdown(wait=False)
         self._trace.finish()
+        # Drop this process's shared-graph mappings along with the pool.
+        from repro.graph.shared import release_graphs
+        release_graphs()
 
 
 def make_backend(name: str, workers: int) -> ComputeBackend:

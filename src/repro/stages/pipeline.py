@@ -21,6 +21,7 @@ and ``repro serve``'s ``/stats``) and traced as ``stage.<name>.hit`` /
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import Counter
@@ -101,6 +102,13 @@ class StagePricer:
         self.system = system if system is not None \
             else SystemConfig().scaled(scale)
         self.cache = cache if cache is not None else NullCache()
+        # An on-disk cache root also hosts the shared graph store:
+        # every worker process pointed at this root memory-maps one
+        # copy of each generated graph instead of regenerating it.
+        root = getattr(self.cache, "root", None)
+        if root:
+            from repro.graph.shared import enable_graph_store
+            enable_graph_store(os.path.join(root, "graphs"))
         self._bundles: Dict[Tuple[str, str, str], ProfileBundle] = {}
         self._metrics: Dict[str, RunMetrics] = {}
         self._lock = threading.RLock()

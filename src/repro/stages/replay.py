@@ -24,6 +24,11 @@ from repro.runtime.traffic import (
     lru_scatter_replay,
     phi_coalesce_replay,
 )
+from repro.runtime.traffic_array import (
+    pull_gather_lines,
+    push_scatter_lines,
+    ub_bin_stream,
+)
 from repro.stages.artifacts import (
     IterationReplay,
     ReplayArtifact,
@@ -60,8 +65,7 @@ def replay_streams(stream: StreamArtifact,
         upd_vals = it.update_values
 
         # Push destination scatter.
-        per_line = max(1, LINE_BYTES // dvb)
-        dst_lines = dsts.astype(np.int64) // per_line
+        dst_lines = push_scatter_lines(dsts, dvb)
         with TRACER.span("replay.push_scatter",
                          count=int(dst_lines.size)):
             misses, writebacks = lru_scatter_replay(dst_lines,
@@ -69,12 +73,8 @@ def replay_streams(stream: StreamArtifact,
 
         # Update Batching: the bin-stable sort order is frozen here so
         # compress measures the exact stream binning would write.
-        bins = dsts.astype(np.int64) // vpb
-        order = np.argsort(bins, kind="stable")
-        sorted_ids = dsts[order].astype(np.uint32)
-        sorted_vals = upd_vals[order] if upd_vals.size == dsts.size \
-            else np.empty(0, dtype=np.uint32)
-        touched_bins = int(np.unique(bins).size)
+        sorted_ids, sorted_vals, touched_bins = ub_bin_stream(
+            dsts, upd_vals, vpb)
         ub_dest_raw = min(_ceil_lines(num_vertices * dvb),
                           touched_bins * vpb * dvb)
 
@@ -91,9 +91,7 @@ def replay_streams(stream: StreamArtifact,
         pull_gather_misses = 0
         pull_gather_read_bytes = 0
         if it.all_active and svb:
-            gather_per_line = max(1, LINE_BYTES // svb)
-            gather_lines = (stream.pull_neighbors.astype(np.int64)
-                            // gather_per_line)
+            gather_lines = pull_gather_lines(stream.pull_neighbors, svb)
             with TRACER.span("replay.pull_gather",
                              count=int(gather_lines.size)):
                 pull_gather_misses, _wb = lru_scatter_replay(

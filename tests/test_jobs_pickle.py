@@ -5,11 +5,13 @@ The jobs layer's workers return :class:`RunMetrics` and may ship
 process pool; all three must survive a pickle round trip unchanged.
 """
 
+import multiprocessing
 import pickle
 
 import numpy as np
 import pytest
 
+from repro.graph import shared
 from repro.sim.metrics import RunMetrics
 from repro.sim.runner import Runner
 
@@ -78,3 +80,90 @@ def test_workload_roundtrip_prices_identically(runner):
                               "phi", roundtrip(cfg),
                               dataset="arb", preprocessing="none")
     assert shipped == local
+
+
+# --------------------------------------------------------------------------
+# Shared graph store: worker payloads must not embed graph arrays
+# --------------------------------------------------------------------------
+
+@pytest.fixture
+def graph_store(tmp_path):
+    """Activate an isolated shared graph store for one test."""
+    from repro.graph.datasets import clear_cache
+    clear_cache()
+    store = shared.enable_graph_store(str(tmp_path / "graphs"))
+    try:
+        yield store
+    finally:
+        shared.disable_graph_store()
+        clear_cache()
+
+
+class TestSharedGraphStore:
+    def test_graph_payload_excludes_arrays(self, graph_store, runner):
+        """Store active: a pickled graph is paths, not array bytes."""
+        workload = runner.workload("dc", "arb")
+        graph = workload.graph
+        payload = pickle.dumps(graph,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        # Orders of magnitude under the inline array footprint.
+        assert len(payload) < 1024
+        assert len(payload) < graph.neighbors.nbytes // 8
+        # And the raw adjacency bytes genuinely do not ride along.
+        assert np.ascontiguousarray(
+            graph.neighbors).tobytes() not in payload
+
+    def test_workload_payload_excludes_graph_arrays(self, graph_store,
+                                                    runner):
+        workload = runner.workload("dc", "arb")
+        payload = pickle.dumps(workload,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        # Iteration arrays still ride along inline; the graph's three
+        # CSR arrays must not — only their store paths do.
+        for arr in (workload.graph.offsets, workload.graph.neighbors):
+            assert np.ascontiguousarray(arr).tobytes() not in payload
+        clone = pickle.loads(payload)
+        assert clone.graph.content_digest() == \
+            workload.graph.content_digest()
+        np.testing.assert_array_equal(clone.graph.neighbors,
+                                      workload.graph.neighbors)
+
+    def test_roundtrip_without_store_still_inline(self, runner):
+        """No store active: the old inline pickling, bit for bit."""
+        assert shared.active_graph_store() is None
+        workload = runner.workload("dc", "arb")
+        clone = roundtrip(workload)
+        np.testing.assert_array_equal(clone.graph.neighbors,
+                                      workload.graph.neighbors)
+        assert clone.graph.content_digest() == \
+            workload.graph.content_digest()
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_digest_identity_across_pool(self, graph_store, method,
+                                         runner):
+        """A mapped graph unpickles to identical content in workers."""
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{method} start method unavailable")
+        workload = runner.workload("dc", "arb")
+        payload = pickle.dumps(workload.graph,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            ctx = multiprocessing.get_context(method)
+            with ctx.Pool(1) as pool:
+                digest = pool.apply(shared.graph_digest_of_payload,
+                                    (payload,))
+        except (OSError, ValueError) as exc:
+            pytest.skip(f"process pool unavailable: {exc!r}")
+        assert digest == workload.graph.content_digest()
+
+    def test_release_drops_segments(self, graph_store):
+        from repro.graph.datasets import load_preprocessed
+        load_preprocessed("arb", "none", SCALE)
+        graph = load_preprocessed.__wrapped__("arb", "none", SCALE)
+        # The second materialization maps from the store.
+        assert graph_store.open_segments > 0
+        shared.release_graphs()
+        assert graph_store.open_segments == 0
+        # Released mappings stay readable while referenced.
+        assert graph.num_vertices > 0
+        assert int(graph.offsets[-1]) == graph.neighbors.size

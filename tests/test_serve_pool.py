@@ -127,6 +127,26 @@ class TestProcessBackend:
             assert backend.fallbacks == 0
         assert backend.dispatches == 1
 
+    def test_close_releases_shared_graph_segments(self, tmp_path):
+        """Pool teardown drops this process's mapped graph segments."""
+        from repro.graph import shared
+        from repro.graph.datasets import clear_cache
+        clear_cache()
+        store = shared.enable_graph_store(str(tmp_path / "graphs"))
+        backend = ProcessBackend(workers=1)
+        try:
+            from repro.graph.datasets import load_preprocessed
+            load_preprocessed("arb", "none", SCALE)   # build + publish
+            load_preprocessed.__wrapped__("arb", "none", SCALE)  # map
+            assert store.open_segments > 0
+        finally:
+            backend.close()
+            try:
+                assert store.open_segments == 0
+            finally:
+                shared.disable_graph_store()
+                clear_cache()
+
     def test_broken_pool_falls_back_in_process(self):
         backend = ProcessBackend(workers=1)
         profile, prices = one_group()

@@ -87,6 +87,32 @@ class TestStageFingerprints:
         assert stage_config_slice("timing", mc) != \
             stage_config_slice("timing", mc2)
 
+    def test_stream_generator_sources_are_salted_deps(self,
+                                                      monkeypatch):
+        """``runtime/traffic_array.py`` must salt every stage.
+
+        The array-native generators and the vectorized size models live
+        there; an implementation edit has to rotate all four stage
+        salts or frozen artifacts priced under the old code would be
+        served as current.  Dropping the file from the dep lists must
+        change each salt — proof its bytes are folded into the keys.
+        """
+        for stage in STAGE_NAMES:
+            assert "runtime/traffic_array.py" in STAGE_DEPS[stage]
+        before = {s: stage_salt(s) for s in STAGE_NAMES}
+        pruned = {s: tuple(d for d in deps
+                           if d != "runtime/traffic_array.py")
+                  for s, deps in STAGE_DEPS.items()}
+        import repro.jobs.fingerprint as fp
+        monkeypatch.setattr(fp, "STAGE_DEPS", pruned)
+        stage_salt.cache_clear()
+        try:
+            after = {s: stage_salt(s) for s in STAGE_NAMES}
+        finally:
+            stage_salt.cache_clear()
+        for stage in STAGE_NAMES:
+            assert after[stage] != before[stage]
+
     def test_artifact_digest_is_content_addressed(self):
         import numpy as np
         a = {"x": np.arange(8), "y": 3}
@@ -167,6 +193,27 @@ class TestInvalidation:
         counters = stage_counters()
         assert counters == {"stream.memo": 1, "replay.memo": 1,
                             "compress.memo": 1, "timing.computed": 1}
+
+    def test_stream_code_edit_invalidates_every_stage(self, tmp_path,
+                                                      monkeypatch):
+        """A traffic_array edit (simulated by rotating the salts) must
+        recompute every stage — stale planted artifacts are unreachable
+        under the new keys — and reprice to the same result."""
+        cache = ResultCache(str(tmp_path))
+        system = SystemConfig().scaled(SCALE)
+        pricer = StagePricer(scale=SCALE, system=system, cache=cache)
+        first = pricer.price("pr", "push+spzip", "ukl", "none")
+        reset_stage_counters()
+        import repro.jobs.fingerprint as fp
+        real = stage_salt
+        monkeypatch.setattr(fp, "stage_salt",
+                            lambda stage: real(stage)[::-1])
+        edited = StagePricer(scale=SCALE, system=system, cache=cache)
+        again = edited.price("pr", "push+spzip", "ukl", "none")
+        counters = stage_counters()
+        assert counters == {f"{s}.computed": 1 for s in STAGE_NAMES}
+        # Same code actually ran, so the reprice is bit-identical.
+        assert again == first
 
     def test_memoized_cell_skips_the_store(self, tmp_path):
         cache = ResultCache(str(tmp_path))
