@@ -189,7 +189,8 @@ def _cmd_report(args) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         telemetry_path=args.telemetry,
         timeout=args.timeout, retries=args.retries,
-        progress=print if not args.out else None)
+        progress=print if not args.out else None,
+        partitions=args.partitions)
     ids = args.experiments or None
     report = generate_report(runner, experiment_ids=ids, progress=True)
     if args.out:
@@ -235,16 +236,19 @@ def _cmd_serve(args) -> int:
     import asyncio
     import signal
 
-    from repro.jobs.cache import NullCache, ResultCache
-    from repro.serve import ServeApp, ServeServer, TieredStore
+    from repro.jobs.cache import StoreConfig
+    from repro.serve import ServeApp, ServeServer
 
-    disk = NullCache() if args.no_cache else ResultCache(args.cache_dir)
-    store = TieredStore(disk, hot_capacity=args.hot_capacity)
-    app = ServeApp(scale=args.scale, store=store, workers=args.workers,
+    store_config = StoreConfig(
+        root=None if args.no_cache else args.cache_dir,
+        stream_partitions=args.partitions,
+        hot_capacity=args.hot_capacity)
+    app = ServeApp(scale=args.scale, workers=args.workers,
                    admission_limit=args.max_concurrency,
                    backend=args.backend,
                    batch_window_s=args.batch_window,
-                   batch_max=args.batch_max)
+                   batch_max=args.batch_max,
+                   store_config=store_config)
 
     async def run() -> bool:
         server = await ServeServer(app, args.host, args.port).start()
@@ -419,6 +423,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-job-group timeout in seconds")
     report.add_argument("--retries", type=int, default=1,
                         help="retries per failed/timed-out job group")
+    report.add_argument("--partitions", type=_positive_int, default=1,
+                        help="vertex-range partitions of the stream "
+                             "stage (K>1 enables graph-delta partition "
+                             "reuse)")
     report.add_argument("--perf", action="store_true",
                         help="print per-stage profiling to stderr")
     report.add_argument("--trace", default=None, metavar="PATH",
@@ -463,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--hot-capacity", type=_positive_int,
                        default=1024,
                        help="hot-tier LRU entry bound")
+    serve.add_argument("--partitions", type=_positive_int, default=1,
+                       help="vertex-range partitions of the stream "
+                            "stage (K>1 lets POST /graph/delta reuse "
+                            "untouched partitions)")
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds to wait for in-flight requests "
                             "on shutdown")

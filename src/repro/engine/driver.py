@@ -16,9 +16,9 @@ The public surface is::
 :class:`DriveRequest` is a frozen description of the core side of the
 run (what gets fed, what gets consumed, at what rate, for how long, in
 which mode); :class:`DriveResult` carries the outputs plus per-run
-scheduler statistics.  ``drive(engine, feeds=..., consume=...)`` — the
-pre-typed keyword form — still works as a thin shim but emits a
-:class:`DeprecationWarning`.
+scheduler statistics.  This typed form is the *only* form: the
+pre-typed keyword spelling ``drive(engine, feeds=..., consume=...)``
+was removed after its deprecation cycle and now raises ``TypeError``.
 
 Like :meth:`SpZipEngine.run`, the drive loop has two modes: the
 per-cycle reference and the event-driven fast path (skip idle stretches
@@ -28,9 +28,8 @@ bounded bursts).  Both are cycle-identical; see ``docs/ENGINE.md``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.dcl.queue import Entry
 from repro.engine.base import (
@@ -141,31 +140,20 @@ class DriveResult:
         return chunks
 
 
-def drive(engine: SpZipEngine,
-          request: Optional[Union[DriveRequest, Mapping]] = None,
-          consume: Iterable[str] = (),
-          dequeues_per_cycle: int = 2,
-          max_cycles: int = 10_000_000,
-          feeds: Optional[Mapping[str, Iterable[FeedLike]]] = None,
-          ) -> DriveResult:
+def drive(engine: SpZipEngine, request: DriveRequest) -> DriveResult:
     """Run ``engine`` against a modelled core until everything drains.
 
-    The supported form is ``drive(engine, DriveRequest(...))``.  The
-    historical keyword form ``drive(engine, feeds=..., consume=...)``
-    (with ``feeds`` also accepted positionally) is kept as a shim that
-    builds the equivalent :class:`DriveRequest` and emits a
-    :class:`DeprecationWarning`.
+    The only supported form is ``drive(engine, DriveRequest(...))``.
+    The historical keyword form ``drive(engine, feeds=..., consume=...)``
+    completed its deprecation cycle and was removed; anything that is
+    not a :class:`DriveRequest` is a ``TypeError``.
     """
     if not isinstance(request, DriveRequest):
-        if request is not None and feeds is None:
-            feeds = request  # legacy positional feeds dict
-        warnings.warn(
-            "drive(engine, feeds=..., consume=...) is deprecated; "
-            "pass a DriveRequest: drive(engine, DriveRequest(feeds=..., "
-            "consume=...))", DeprecationWarning, stacklevel=2)
-        request = DriveRequest(feeds=feeds or {}, consume=tuple(consume),
-                               dequeues_per_cycle=dequeues_per_cycle,
-                               max_cycles=max_cycles)
+        raise TypeError(
+            f"drive() takes a DriveRequest, got "
+            f"{type(request).__name__}; the keyword form "
+            f"drive(engine, feeds=..., consume=...) was removed — "
+            f"build a DriveRequest(feeds=..., consume=...) instead")
     mode = validate_mode(request.mode or engine.mode)
     scheduler = engine.scheduler
     if scheduler is None:

@@ -152,6 +152,13 @@ class CsrGraph:
         np.cumsum(offsets, out=offsets)
         return cls(offsets, dst.astype(VERTEX_DTYPE), values)
 
+    def apply(self, delta) -> "CsrGraph":
+        """The graph with a :class:`~repro.graph.delta.GraphDelta`
+        applied — bit-identical to rebuilding from the mutated edge
+        list with :meth:`from_edges` (see :mod:`repro.graph.delta`)."""
+        from repro.graph.delta import apply_delta
+        return apply_delta(self, delta)
+
     def transpose(self) -> "CsrGraph":
         """Reverse every edge (incoming adjacency, for Pull-style access)."""
         src = np.repeat(np.arange(self.num_vertices, dtype=np.int64),

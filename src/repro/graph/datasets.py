@@ -26,14 +26,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.graph.csr import CsrGraph
+from repro.graph.delta import GraphDelta, MutableGraphHandle
 from repro.graph.generators import banded_matrix, community_graph, rmat
 from repro.graph.preprocess import preprocess
-from repro.graph.shared import cached_graph
+from repro.graph.shared import active_graph_store, cached_graph
 
 DEFAULT_SCALE = 4096
+
+#: Separator between a base dataset name and a delta-lineage version
+#: tag: ``ukl@4c1fd2e09a8b77c3`` names the mutated instance of ``ukl``.
+VERSION_SEP = "@"
 
 
 @dataclass(frozen=True)
@@ -66,13 +71,127 @@ DATASETS: Dict[str, DatasetSpec] = {
 GRAPH_INPUTS = ("arb", "ukl", "twi", "it", "web")
 
 
+# -- delta-versioned instances ---------------------------------------------
+#
+# A dataset mutated through a GraphDelta is a *new* registry identity:
+# ``base@version`` where the version digests the lineage
+# (base_digest, [delta_digests]).  Publishing it to the shared graph
+# store uses its own ``load/<base@version>/<scale>`` manifest entry, so
+# the base graph's cached memmap is never shadowed.
+
+#: Registered mutated instances: (base, version, scale) -> handle.
+_HANDLES: Dict[Tuple[str, str, int], MutableGraphHandle] = {}
+#: Current head of each mutated dataset: (base, scale) -> versioned name.
+_HEADS: Dict[Tuple[str, int], str] = {}
+
+
+def split_version(name: str) -> Tuple[str, Optional[str]]:
+    """``"ukl@abc"`` -> ``("ukl", "abc")``; bare names give None."""
+    base, _sep, version = name.partition(VERSION_SEP)
+    return base, (version or None)
+
+
+def base_dataset(name: str) -> str:
+    return split_version(name)[0]
+
+
+def resolve_version(name: str, scale: int = DEFAULT_SCALE) -> str:
+    """Current head of a mutated dataset; bare names pass through
+    unless a delta has been applied, explicit versions always do."""
+    base, version = split_version(name)
+    if version is not None:
+        return name
+    return _HEADS.get((base, scale), name)
+
+
+def current_handle(name: str, scale: int = DEFAULT_SCALE
+                   ) -> Optional[MutableGraphHandle]:
+    """The head handle of a mutated dataset, if any."""
+    base, version = split_version(name)
+    if version is None:
+        head = _HEADS.get((base, scale))
+        if head is None:
+            return None
+        _base, version = split_version(head)
+    return _HANDLES.get((base, version, scale))
+
+
+def version_exists(name: str, scale: int = DEFAULT_SCALE) -> bool:
+    """Whether ``name`` resolves to a loadable graph in this process
+    (registered here, or published to the active graph store)."""
+    base, version = split_version(name)
+    if base not in DATASETS:
+        return False
+    if version is None:
+        return True
+    if (base, version, scale) in _HANDLES:
+        return True
+    store = active_graph_store()
+    return store is not None \
+        and store.get_graph(f"load/{name}/{scale}") is not None
+
+
+def apply_delta(name: str, delta: GraphDelta,
+                scale: int = DEFAULT_SCALE) -> MutableGraphHandle:
+    """Apply a delta to a dataset's head; registers and returns the
+    new versioned instance.
+
+    Deltas chain: each call extends the lineage of the current head
+    (or of the explicitly named version).  The mutated graph is
+    published to the active graph store under its *own* manifest key,
+    so pool workers in other processes can map it, and the base
+    graph's entry stays untouched.
+    """
+    base, version = split_version(name)
+    if base not in DATASETS:
+        raise KeyError(f"unknown dataset {base!r}; "
+                       f"have {sorted(DATASETS)}")
+    if version is not None:
+        head = _HANDLES.get((base, version, scale))
+        if head is None:
+            raise KeyError(f"unknown version {name!r} at scale {scale}")
+    else:
+        head = current_handle(base, scale)
+        if head is None:
+            graph = load(base, scale)
+            head = MutableGraphHandle(
+                name=base, scale=scale, graph=graph,
+                base_digest=graph.content_digest())
+    handle = head.apply(delta)
+    _HANDLES[(base, handle.version, scale)] = handle
+    _HEADS[(base, scale)] = handle.versioned_name
+    store = active_graph_store()
+    if store is not None:
+        store.put_graph(f"load/{handle.versioned_name}/{scale}",
+                        handle.graph)
+    return handle
+
+
 @lru_cache(maxsize=None)
 def load(name: str, scale: int = DEFAULT_SCALE) -> CsrGraph:
-    """Generate (and memoize) the natural-order instance of a dataset."""
-    if name not in DATASETS:
-        raise KeyError(f"unknown dataset {name!r}; have {sorted(DATASETS)}")
-    return cached_graph(f"load/{name}/{scale}",
-                        lambda: _generate(name, scale))
+    """Generate (and memoize) the natural-order instance of a dataset.
+
+    Versioned names (``base@version``) resolve through the in-process
+    handle registry, falling back to the shared graph store (how pool
+    workers see the dispatcher's mutations).
+    """
+    base, version = split_version(name)
+    if base not in DATASETS:
+        raise KeyError(f"unknown dataset {base!r}; have {sorted(DATASETS)}")
+    if version is None:
+        return cached_graph(f"load/{name}/{scale}",
+                            lambda: _generate(name, scale))
+    handle = _HANDLES.get((base, version, scale))
+    if handle is not None:
+        return handle.graph
+    store = active_graph_store()
+    graph = None if store is None \
+        else store.get_graph(f"load/{name}/{scale}")
+    if graph is None:
+        raise KeyError(
+            f"unknown version {name!r} at scale {scale}: not registered "
+            f"in this process and not published to a graph store")
+    return graph
 
 
 def _generate(name: str, scale: int) -> CsrGraph:
@@ -106,3 +225,5 @@ def clear_cache() -> None:
     """Drop memoized instances (tests use this to bound memory)."""
     load.cache_clear()
     load_preprocessed.cache_clear()
+    _HANDLES.clear()
+    _HEADS.clear()

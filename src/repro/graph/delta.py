@@ -1,0 +1,276 @@
+"""Graph deltas: edge insertions/deletions with content-addressed lineage.
+
+The paper prices *static* CSR inputs; this module opens the workload
+class it doesn't have — dynamic graphs.  A :class:`GraphDelta` is a
+frozen, canonicalized batch of edge insertions and deletions with a
+content digest; :func:`apply_delta` (surfaced as ``CsrGraph.apply``)
+rebuilds the mutated graph with *exactly* the semantics of
+``CsrGraph.from_edges`` over the mutated edge list — self-loops
+dropped, rows sorted, duplicates removed — so an incrementally
+maintained graph is bit-identical to a from-scratch rebuild, and every
+content-addressed stage key downstream agrees.
+
+:class:`MutableGraphHandle` names the result: it tracks the lineage
+``(base_digest, [delta_digests])`` and derives a short version tag from
+it, so a mutated dataset gets its *own* registry identity (e.g.
+``ukl@4c1fd2e09a8b77c3``) instead of silently shadowing the base
+graph's cached memmap — see :mod:`repro.graph.datasets`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+
+EdgeList = Union[np.ndarray, Sequence[Sequence[int]]]
+
+
+def _canonical_edges(edges: EdgeList, label: str) -> np.ndarray:
+    """Edge pairs as a canonical ``(n, 2) int64`` array.
+
+    Canonical means: self-loops dropped, rows lexsorted by (src, dst),
+    exact duplicates removed.  Two spellings of the same edge set always
+    hash identically.
+    """
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"{label} must be an (n, 2) edge array, "
+                         f"got shape {arr.shape}")
+    if arr.min() < 0:
+        raise ValueError(f"{label} contains a negative endpoint")
+    keep = arr[:, 0] != arr[:, 1]
+    arr = arr[keep]
+    if arr.size:
+        order = np.lexsort((arr[:, 1], arr[:, 0]))
+        arr = arr[order]
+        dedup = np.empty(arr.shape[0], dtype=bool)
+        dedup[0] = True
+        dedup[1:] = (arr[1:] != arr[:-1]).any(axis=1)
+        arr = arr[dedup]
+    arr = np.ascontiguousarray(arr)
+    arr.flags.writeable = False
+    return arr
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """A canonicalized batch of edge mutations.
+
+    ``apply`` semantics: deletions first, then insertions —
+    ``edges' = (edges − deletions) ∪ insertions``.  Inserting an edge
+    that already exists is a no-op (the existing edge, and its value,
+    win); deleting a missing edge is a no-op.  Construct through
+    :meth:`of`, which canonicalizes; the raw constructor trusts its
+    inputs.
+    """
+
+    insertions: np.ndarray  # (n, 2) int64, canonical
+    deletions: np.ndarray   # (m, 2) int64, canonical
+    #: Per-insertion edge values, for graphs that carry them (matrices).
+    insert_values: Optional[np.ndarray] = None
+    _digest: Optional[str] = field(default=None, repr=False,
+                                   compare=False)
+
+    @classmethod
+    def of(cls, insertions: EdgeList = (), deletions: EdgeList = (),
+           insert_values: Optional[np.ndarray] = None) -> "GraphDelta":
+        raw = np.asarray(insertions, dtype=np.int64)
+        ins = _canonical_edges(insertions, "insertions")
+        dels = _canonical_edges(deletions, "deletions")
+        values = None
+        if insert_values is not None:
+            values = np.asarray(insert_values)
+            if values.shape[0] != (raw.shape[0] if raw.size else 0):
+                raise ValueError("insert_values must have one entry "
+                                 "per insertion")
+            # Re-canonicalize values alongside their edges.
+            if raw.size:
+                keep = raw[:, 0] != raw[:, 1]
+                kept, values = raw[keep], values[keep]
+                if kept.size:
+                    order = np.lexsort((kept[:, 1], kept[:, 0]))
+                    kept, values = kept[order], values[order]
+                    dedup = np.empty(kept.shape[0], dtype=bool)
+                    dedup[0] = True
+                    dedup[1:] = (kept[1:] != kept[:-1]).any(axis=1)
+                    values = values[dedup]
+            values = np.ascontiguousarray(values)
+            values.flags.writeable = False
+        return cls(ins, dels, values)
+
+    # -- identity ----------------------------------------------------------
+
+    def content_digest(self) -> str:
+        """Memoized digest of the canonical mutation content."""
+        if self._digest is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for arr in (self.insertions, self.deletions):
+                digest.update(struct.pack("<q", arr.shape[0]))
+                digest.update(np.ascontiguousarray(arr).tobytes())
+            if self.insert_values is not None:
+                digest.update(str(self.insert_values.dtype).encode())
+                digest.update(np.ascontiguousarray(self.insert_values)
+                              .tobytes())
+            object.__setattr__(self, "_digest", digest.hexdigest())
+        return self._digest
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def num_changes(self) -> int:
+        return int(self.insertions.shape[0] + self.deletions.shape[0])
+
+    @property
+    def empty(self) -> bool:
+        return self.num_changes == 0
+
+    def touched_rows(self) -> np.ndarray:
+        """Sorted unique source vertices whose rows this delta rewrites."""
+        srcs = np.concatenate([self.insertions[:, 0],
+                               self.deletions[:, 0]])
+        return np.unique(srcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GraphDelta(+{self.insertions.shape[0]} "
+                f"-{self.deletions.shape[0]})")
+
+
+def apply_delta(graph: CsrGraph, delta: GraphDelta) -> CsrGraph:
+    """The mutated graph, bit-identical to a from-scratch rebuild.
+
+    Materializes the current edge list, subtracts the deletions, appends
+    the insertions, and hands the result to ``CsrGraph.from_edges`` —
+    the exact canonicalization every generated dataset went through.
+    ``np.lexsort`` is stable, and insertions are appended *after* the
+    existing edges, so re-inserting a surviving edge keeps the original
+    edge value.
+    """
+    num_vertices = graph.num_vertices
+    for arr, label in ((delta.insertions, "insertion"),
+                       (delta.deletions, "deletion")):
+        if arr.size and arr.max() >= num_vertices:
+            raise ValueError(f"{label} endpoint out of range "
+                             f"(num_vertices={num_vertices})")
+    src = np.repeat(np.arange(num_vertices, dtype=np.int64),
+                    graph.out_degrees())
+    dst = graph.neighbors.astype(np.int64)
+    values = graph.values
+    if delta.deletions.size:
+        keys = src * num_vertices + dst
+        drop = delta.deletions[:, 0] * num_vertices \
+            + delta.deletions[:, 1]
+        keep = ~np.isin(keys, drop)
+        src, dst = src[keep], dst[keep]
+        if values is not None:
+            values = values[keep]
+    if delta.insertions.size:
+        src = np.concatenate([src, delta.insertions[:, 0]])
+        dst = np.concatenate([dst, delta.insertions[:, 1]])
+        if values is not None:
+            if delta.insert_values is None:
+                raise ValueError(
+                    "graph carries edge values; the delta's insertions "
+                    "need insert_values")
+            values = np.concatenate([
+                values, delta.insert_values.astype(values.dtype)])
+    return CsrGraph.from_edges(num_vertices, src, dst, values=values)
+
+
+@dataclass(frozen=True)
+class MutableGraphHandle:
+    """A named graph plus the delta lineage that produced it.
+
+    The lineage ``(base_digest, delta_digests)`` is the content address
+    of a mutated dataset: :attr:`version` digests it, and
+    :attr:`versioned_name` (``base@version``) is the registry identity
+    every cache key downstream sees.  An unmutated handle (no deltas)
+    keeps the bare base name.
+    """
+
+    name: str
+    scale: int
+    graph: CsrGraph
+    base_digest: str
+    deltas: Tuple[str, ...] = ()
+
+    @property
+    def lineage(self) -> Tuple[str, Tuple[str, ...]]:
+        return (self.base_digest, self.deltas)
+
+    @property
+    def version(self) -> str:
+        """Short digest of the lineage; empty for the unmutated base."""
+        if not self.deltas:
+            return ""
+        digest = hashlib.blake2b(digest_size=8)
+        digest.update(self.base_digest.encode())
+        for delta_digest in self.deltas:
+            digest.update(delta_digest.encode())
+        return digest.hexdigest()
+
+    @property
+    def versioned_name(self) -> str:
+        version = self.version
+        return f"{self.name}@{version}" if version else self.name
+
+    def apply(self, delta: GraphDelta) -> "MutableGraphHandle":
+        """Extend the lineage by one delta (returns a new handle)."""
+        return MutableGraphHandle(
+            name=self.name, scale=self.scale,
+            graph=apply_delta(self.graph, delta),
+            base_digest=self.base_digest,
+            deltas=self.deltas + (delta.content_digest(),))
+
+
+def sample_delta(graph: CsrGraph, seed: int, insertions: int = 0,
+                 deletions: int = 0,
+                 row_range: Optional[Tuple[int, int]] = None
+                 ) -> GraphDelta:
+    """A reproducible random delta over ``graph`` (tests, benchmarks).
+
+    Deletions are sampled from existing edges; insertions are random
+    non-self-loop pairs (colliding with an existing edge is a benign
+    no-op under the delta semantics).  ``row_range=(lo, hi)`` confines
+    every mutated *source* row to that vertex range — the localized
+    shape real dynamic-graph updates have (a crawl frontier, a busy
+    community), and the shape that lets partitioned stream pricing
+    reuse every partition outside the range.
+    """
+    rng = np.random.default_rng(seed)
+    num_vertices = graph.num_vertices
+    row_lo, row_hi = row_range if row_range is not None \
+        else (0, num_vertices)
+    dels = np.empty((0, 2), dtype=np.int64)
+    if deletions and graph.num_edges:
+        edge_lo = int(graph.offsets[row_lo])
+        edge_hi = int(graph.offsets[row_hi])
+        pool = edge_hi - edge_lo
+        if pool:
+            picks = edge_lo + rng.choice(pool,
+                                         size=min(deletions, pool),
+                                         replace=False)
+            src = np.searchsorted(graph.offsets, picks,
+                                  side="right") - 1
+            dels = np.stack([src.astype(np.int64),
+                             graph.neighbors[picks].astype(np.int64)],
+                            axis=1)
+    ins = np.empty((0, 2), dtype=np.int64)
+    values = None
+    if insertions:
+        src = rng.integers(row_lo, row_hi, size=insertions)
+        dst = rng.integers(0, num_vertices, size=insertions)
+        ins = np.stack([src, dst], axis=1).astype(np.int64)
+        if graph.values is not None:
+            values = rng.random(insertions).astype(graph.values.dtype) \
+                if np.issubdtype(graph.values.dtype, np.floating) \
+                else rng.integers(1, 100, size=insertions).astype(
+                    graph.values.dtype)
+    return GraphDelta.of(ins, dels, insert_values=values)

@@ -15,10 +15,64 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Default hot-tier entry budget of the serving store (see
+#: :class:`repro.serve.store.TieredStore`).
+DEFAULT_HOT_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """One frozen description of every store a pricing run touches.
+
+    Cache-root plumbing used to travel as four ad-hoc parameters —
+    ``execute_group(..., cache_root=)``, the ``TieredStore`` disk root,
+    the ``StagePricer`` bundle memo's cache, and the ``GraphStore``
+    activation path.  This object consolidates them: it is hashable
+    (it keys per-process worker-pricer memo tables), picklable (it
+    crosses pool boundaries verbatim), and explicit (every layer
+    receives the same resolved configuration instead of re-deriving
+    roots from whatever cache object happens to be nearby).
+    """
+
+    #: On-disk root shared by the result cache, the tiered store's disk
+    #: tier, and the graph store (``<root>/graphs``); None disables
+    #: every disk tier.
+    root: Optional[str] = None
+    #: Vertex-range partition count of the stream stage (K=1 keeps the
+    #: whole-graph path; K>1 enables graph-delta partition reuse).
+    stream_partitions: int = 1
+    #: Hot-tier entry budget of the serving store.
+    hot_capacity: int = DEFAULT_HOT_CAPACITY
+
+    @classmethod
+    def from_cache(cls, cache: Any,
+                   stream_partitions: int = 1) -> "StoreConfig":
+        """Adopt an existing cache object's root (compat shim for the
+        ``cache=``-only call sites)."""
+        return cls(root=getattr(cache, "root", None),
+                   stream_partitions=stream_partitions)
+
+    def result_cache(self) -> Any:
+        """A result cache rooted at :attr:`root` (Null when disabled)."""
+        return ResultCache(self.root) if self.root else NullCache()
+
+    @property
+    def graph_root(self) -> Optional[str]:
+        return os.path.join(self.root, "graphs") if self.root else None
+
+    def activate_graph_store(self):
+        """Enable the shared graph store under this root (no-op when
+        disk-less); returns the active store or None."""
+        if not self.root:
+            return None
+        from repro.graph.shared import enable_graph_store
+        return enable_graph_store(self.graph_root)
 
 
 class ResultCache:

@@ -14,7 +14,7 @@ Execution policy:
 * ``jobs == 1`` runs everything in-process on one shared
   :class:`~repro.stages.StagePricer` (no pool, no pickling);
 * ``jobs > 1`` uses a ``ProcessPoolExecutor``; each worker memoizes one
-  StagePricer per (scale, system, cache root) so successive groups on
+  StagePricer per (scale, system, store config) so successive groups on
   the same worker reuse its profile bundles, and all workers share the
   dispatcher's content-addressed stage store;
 * a group that fails or times out is retried up to ``retries`` times,
@@ -39,7 +39,7 @@ from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
-from repro.jobs.cache import NullCache, ResultCache
+from repro.jobs.cache import NullCache, ResultCache, StoreConfig
 from repro.obs import REPRO_TRACE_DIR, TRACER
 from repro.jobs.fingerprint import job_fingerprint
 from repro.jobs.model import (
@@ -57,36 +57,37 @@ from repro.sim.metrics import RunMetrics
 JobOutcome = Tuple[str, Optional[RunMetrics], float, int, str]
 
 #: Per-process StagePricer memo (worker side), keyed by
-#: (scale, system, cache root): successive groups on one worker reuse
-#: its in-memory profile bundles, and — when a cache root is given —
+#: (scale, system, store config): successive groups on one worker reuse
+#: its in-memory profile bundles, and — when the store has a root —
 #: every worker reads/writes the same content-addressed stage store.
-_WORKER_PRICERS: Dict[Tuple[int, Optional[SystemConfig], Optional[str]],
+_WORKER_PRICERS: Dict[Tuple[int, Optional[SystemConfig],
+                            Optional[StoreConfig]],
                       object] = {}
 
 
 def _pricer_for(scale: int, system: Optional[SystemConfig],
-                cache_root: Optional[str]):
-    from repro.jobs.cache import ResultCache
+                store: Optional[StoreConfig]):
     from repro.stages import StagePricer
-    key = (scale, system, cache_root)
+    key = (scale, system, store)
     if key not in _WORKER_PRICERS:
-        cache = ResultCache(cache_root) if cache_root else None
-        _WORKER_PRICERS[key] = StagePricer(scale=scale, system=system,
-                                           cache=cache)
+        _WORKER_PRICERS[key] = StagePricer(
+            scale=scale, system=system,
+            store=store if store is not None else StoreConfig())
     return _WORKER_PRICERS[key]
 
 
 def execute_group(scale: int, system: Optional[SystemConfig],
                   profile: JobSpec, prices: List[JobSpec],
-                  cache_root: Optional[str] = None) -> List[JobOutcome]:
+                  store: Optional[StoreConfig] = None) -> List[JobOutcome]:
     """Run one profile job and its price jobs on this process's pricer.
 
     Module-level so the process pool can pickle it by reference; also
     the serial path's implementation.  Failures are captured per job so
     one bad configuration cannot take down its group's siblings.
-    ``cache_root`` points the worker's stage pipeline at the dispatching
-    process's content-addressed store, so stage artifacts persist across
-    workers and runs (None keeps them in worker memory only).
+    ``store`` carries the dispatching process's resolved
+    :class:`~repro.jobs.cache.StoreConfig` — cache root, stream
+    partition count — so stage artifacts persist across workers and
+    runs (a rootless store keeps them in worker memory only).
 
     When the dispatching executor is tracing, pool workers see
     :data:`~repro.obs.REPRO_TRACE_DIR` in their environment while the
@@ -100,18 +101,19 @@ def execute_group(scale: int, system: Optional[SystemConfig],
         TRACER.start()
         try:
             return _execute_group(scale, system, profile, prices,
-                                  cache_root)
+                                  store)
         finally:
             TRACER.flush_part(os.path.join(
                 trace_dir, f"worker-{os.getpid()}.jsonl"))
             TRACER.stop()
-    return _execute_group(scale, system, profile, prices, cache_root)
+    return _execute_group(scale, system, profile, prices, store)
 
 
 def _execute_group(scale: int, system: Optional[SystemConfig],
                    profile: JobSpec, prices: List[JobSpec],
-                   cache_root: Optional[str] = None) -> List[JobOutcome]:
-    pricer = _pricer_for(scale, system, cache_root)
+                   store: Optional[StoreConfig] = None
+                   ) -> List[JobOutcome]:
+    pricer = _pricer_for(scale, system, store)
     pid = os.getpid()
     outcomes: List[JobOutcome] = []
     with TRACER.span("jobs.group", job_id=profile.job_id,
@@ -226,17 +228,22 @@ class JobExecutor:
                  telemetry: Optional[TelemetryWriter] = None,
                  timeout: Optional[float] = None,
                  retries: int = 1,
-                 progress: Optional[Callable[[str], None]] = None
+                 progress: Optional[Callable[[str], None]] = None,
+                 partitions: int = 1
                  ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
         self.scale = scale
         self.system = system
         self.jobs = jobs
         self.cache = cache if cache is not None else NullCache()
         # Workers read/write stage artifacts through the same
-        # content-addressed store that holds final cell results.
-        self._cache_root = getattr(self.cache, "root", None)
+        # content-addressed store that holds final cell results; the
+        # one StoreConfig crosses the pool boundary verbatim.
+        self._store = StoreConfig.from_cache(
+            self.cache, stream_partitions=partitions)
         self.telemetry = telemetry if telemetry is not None \
             else TelemetryWriter(path=None)
         self.timeout = timeout
@@ -363,12 +370,12 @@ class JobExecutor:
         for index, (profile, prices) in enumerate(pending):
             attempt = 0
             group = execute_group(self.scale, self.system, profile,
-                                  prices, self._cache_root)
+                                  prices, self._store)
             while self._group_has_failure(group) and \
                     attempt < self.retries:
                 attempt += 1
                 group = execute_group(self.scale, self.system, profile,
-                                      prices, self._cache_root)
+                                      prices, self._store)
             for outcome in group:
                 outcomes[outcome[0]] = (outcome, attempt)
             self._progress(f"group {index + 1}/{len(pending)}: "
@@ -402,7 +409,7 @@ class JobExecutor:
             for profile, prices in pending:
                 future = pool.submit(execute_group, self.scale,
                                      self.system, profile, prices,
-                                     self._cache_root)
+                                     self._store)
                 futures[future] = (profile, prices, 0)
                 dispatched[profile.job_id] = time.monotonic()
             while futures:
@@ -431,7 +438,7 @@ class JobExecutor:
                             retry = pool.submit(execute_group,
                                                 self.scale, self.system,
                                                 profile, prices,
-                                                self._cache_root)
+                                                self._store)
                             futures[retry] = (profile, prices,
                                               attempt + 1)
                             continue
@@ -442,7 +449,7 @@ class JobExecutor:
                                 f"in-process")
                     group = execute_group(self.scale, self.system,
                                           profile, prices,
-                                          self._cache_root)
+                                          self._store)
                     attempt += 1
                 for outcome in group:
                     outcomes[outcome[0]] = (outcome, attempt)

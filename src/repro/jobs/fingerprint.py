@@ -154,6 +154,23 @@ def stream_fingerprint(app: str, dataset: str, preprocessing: str,
                         "scale": scale})
 
 
+def stream_partition_fingerprint(lo: int, hi: int,
+                                 payload_digest: str) -> str:
+    """Cache key of one vertex-range stream partition.
+
+    ``payload_digest`` hashes the partition's *actual inputs* — the
+    graph rows in ``[lo, hi)`` and each iteration's active-source slice
+    (see ``stages/streams.py``) — so the key is self-validating: a
+    graph delta rotates it exactly for the partitions whose rows or
+    active sources changed, and reuse is bit-correct for every app by
+    construction.  The stream stage salt folds in code changes.
+    """
+    return fingerprint({"stage": "stream.partition",
+                        "salt": stage_salt("stream"),
+                        "lo": lo, "hi": hi,
+                        "payload": payload_digest})
+
+
 def stage_fingerprint(stage: str, upstream: Iterable[str],
                       config_slice: Dict[str, object]) -> str:
     """Cache key of a downstream stage's artifact.

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, Optional
 
 from repro.config import SystemConfig
-from repro.jobs.cache import NullCache, ResultCache
+from repro.jobs.cache import NullCache, ResultCache, StoreConfig
 from repro.jobs.executor import JobExecutor
 from repro.jobs.fingerprint import job_fingerprint
 from repro.jobs.model import (
@@ -49,15 +49,19 @@ class JobRunner(Runner):
                  telemetry_path: Optional[str] = None,
                  timeout: Optional[float] = None,
                  retries: int = 1,
-                 progress: Optional[Callable[[str], None]] = None
+                 progress: Optional[Callable[[str], None]] = None,
+                 partitions: int = 1
                  ) -> None:
         if scale is None:
             from repro.graph.datasets import DEFAULT_SCALE
             scale = DEFAULT_SCALE
         super().__init__(scale=scale, system=system)
         self.jobs = jobs
+        self.partitions = partitions
         self.cache = ResultCache(cache_dir) if cache_dir else \
             NullCache()
+        self.store = StoreConfig.from_cache(
+            self.cache, stream_partitions=partitions)
         if telemetry_path is None and cache_dir:
             telemetry_path = default_telemetry_path(cache_dir)
         self.telemetry_path = telemetry_path
@@ -90,7 +94,7 @@ class JobRunner(Runner):
                 scale=self.scale, system=self.system, jobs=self.jobs,
                 cache=self.cache, telemetry=self._writer(),
                 timeout=self.timeout, retries=self.retries,
-                progress=self.progress)
+                progress=self.progress, partitions=self.partitions)
             self._results.update(executor.run(todo))
         return len(self._results)
 
@@ -119,7 +123,8 @@ class JobRunner(Runner):
                 from repro.stages import StagePricer
                 self._pricer = StagePricer(scale=self.scale,
                                            system=self.system,
-                                           cache=self.cache)
+                                           cache=self.cache,
+                                           store=self.store)
             metrics = self._pricer.price(
                 app, request.scheme, dataset, preprocessing,
                 **params_to_kwargs(request.params))

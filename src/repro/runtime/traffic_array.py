@@ -116,12 +116,68 @@ def row_line_bytes(offsets: np.ndarray, num_vertices: int, num_edges: int,
     if sources.size >= num_vertices * 0.5:
         # Near-contiguous scan of the whole neighbours array.
         return ceil_lines(num_edges * elem_bytes)
+    return row_line_bytes_sparse(offsets, sources, elem_bytes)
+
+
+def row_line_bytes_sparse(offsets: np.ndarray, sources: np.ndarray,
+                          elem_bytes: int = 4) -> int:
+    """Sparse branch of :func:`row_line_bytes`: per-row line spans,
+    summed.  Additive over any split of ``sources`` — unlike the dense
+    ≥50%-active branch, which is a whole-array formula — so partitioned
+    stream generation stores this per partition and lets the stitcher
+    apply the dense switch globally."""
+    if sources.size == 0:
+        return 0
     starts = offsets[sources] * elem_bytes
     ends = offsets[sources + 1] * elem_bytes
     nonempty = ends > starts
     lines = (ends[nonempty] - 1) // LINE_BYTES \
         - starts[nonempty] // LINE_BYTES + 1
     return int(lines.sum()) * LINE_BYTES
+
+
+def partition_gather_stream(offsets: np.ndarray, neighbors: np.ndarray,
+                            degrees: np.ndarray,
+                            sources: np.ndarray) -> np.ndarray:
+    """One partition's slice of :func:`gather_row_stream`.
+
+    Identical gather without the all-active shortcut (a partition's
+    source slice never covers the whole graph); concatenating the
+    partitions' gathers in vertex order reproduces the whole-graph
+    stream bit for bit.
+    """
+    deg = degrees[sources]
+    total = int(deg.sum())
+    if total == 0:
+        return np.empty(0, dtype=neighbors.dtype)
+    cum = np.concatenate(([0], np.cumsum(deg)[:-1]))
+    idx = (np.repeat(offsets[sources] - cum, deg)
+           + np.arange(total, dtype=np.int64))
+    return neighbors[idx]
+
+
+def partition_bounds(num_vertices: int, partitions: int,
+                     align: int = LINE_BYTES) -> List[Tuple[int, int]]:
+    """Split ``[0, num_vertices)`` into ≤ ``partitions`` aligned ranges.
+
+    Boundaries are multiples of ``align`` (the line size in vertices'
+    worst case: 64 covers every element width that divides a line), so
+    no cache line of any per-vertex array straddles two partitions —
+    the property that makes per-partition distinct-line and row-span
+    footprints add up exactly to the whole-graph numbers.
+    """
+    k = max(1, int(partitions))
+    if k == 1 or num_vertices <= align:
+        return [(0, num_vertices)]
+    width = -(-num_vertices // k)
+    width = -(-width // align) * align
+    bounds = []
+    lo = 0
+    while lo < num_vertices:
+        hi = min(num_vertices, lo + width)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
 
 
 def scattered_line_bytes(indices: np.ndarray, elem_bytes: int) -> int:

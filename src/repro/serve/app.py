@@ -32,12 +32,14 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import contextvars
+import dataclasses
 import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.config import SystemConfig
+from repro.jobs.cache import StoreConfig
 from repro.jobs.fingerprint import job_fingerprint
 from repro.jobs.model import RunRequest, build_job_graph
 from repro.obs import TRACER
@@ -58,6 +60,7 @@ from repro.serve.pool import ComputeBackend, make_backend
 from repro.serve.protocol import (
     ProtocolError,
     metrics_to_json,
+    parse_delta,
     parse_price,
     parse_sweep,
     request_to_json,
@@ -91,7 +94,8 @@ class ServeApp:
                  admission_limit: Optional[int] = None,
                  backend: Union[str, ComputeBackend] = "thread",
                  batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
-                 batch_max: int = DEFAULT_BATCH_MAX) -> None:
+                 batch_max: int = DEFAULT_BATCH_MAX,
+                 store_config: Optional[StoreConfig] = None) -> None:
         if scale is None:
             from repro.graph.datasets import DEFAULT_SCALE
             scale = DEFAULT_SCALE
@@ -101,7 +105,21 @@ class ServeApp:
         self.system = system
         self._system_resolved = system if system is not None \
             else SystemConfig().scaled(scale)
-        self.store = store if store is not None else TieredStore()
+        # One StoreConfig describes every store the server touches
+        # (tiered result store, stage partitions, graph store); an
+        # explicit ``store=`` keeps working and contributes its root.
+        if store is None:
+            self.store_config = store_config if store_config is not None \
+                else StoreConfig()
+            self.store = TieredStore.from_config(self.store_config)
+        else:
+            self.store = store
+            self.store_config = store_config if store_config is not None \
+                else StoreConfig.from_cache(store)
+        # Serving a delta means publishing the mutated graph where the
+        # compute side will look for it: activate the shared graph
+        # store now (no-op when rootless).
+        self.store_config.activate_graph_store()
         self.admission = AdmissionController(
             admission_limit if admission_limit is not None else workers)
         self.flight = SingleFlight()
@@ -131,7 +149,9 @@ class ServeApp:
             "/price": {"POST": self._post_price},
             "/simulate": {"POST": self._post_simulate},
             "/sweep": {"POST": self._post_sweep},
+            "/graph/delta": {"POST": self._post_delta},
         }
+        self.deltas = 0
 
     # -- connection handling -----------------------------------------------
 
@@ -213,6 +233,25 @@ class ServeApp:
         job = graph.jobs[graph.request_jobs[request]]
         return job_fingerprint(job, self.scale, self._system_resolved)
 
+    def _resolve(self, cell: RunRequest) -> RunRequest:
+        """Pin the cell's dataset to its current delta version.
+
+        A bare name follows the dataset's head (so pricing after a
+        ``/graph/delta`` sees the mutation); an explicit
+        ``base@version`` is validated and used as-is.  Resolution
+        happens *before* fingerprinting, so every cache key downstream
+        carries the versioned identity.
+        """
+        from repro.graph.datasets import resolve_version, version_exists
+        resolved = resolve_version(cell.dataset, self.scale)
+        if not version_exists(resolved, self.scale):
+            raise ProtocolError(
+                f"unknown dataset version {resolved!r} at scale "
+                f"{self.scale}; apply its delta first")
+        if resolved == cell.dataset:
+            return cell
+        return dataclasses.replace(cell, dataset=resolved)
+
     async def _dispatch_cells(self, cells: List[Tuple[RunRequest, str]]
                               ) -> Dict[str, object]:
         """Run one batch of same-profile cells as a single group.
@@ -233,7 +272,7 @@ class ServeApp:
                              profile=profile.job_id):
                 outcomes = await self.backend.run_group(
                     self.scale, self.system, profile, prices,
-                    cache_root=self.store.root)
+                    store=self.store_config)
         by_id = {outcome[0]: outcome for outcome in outcomes}
         results: Dict[str, object] = {}
         for request, key in cells:
@@ -292,7 +331,7 @@ class ServeApp:
 
     async def _post_price(self, request: HttpRequest
                           ) -> Tuple[int, object]:
-        cell = parse_price(request.json())
+        cell = self._resolve(parse_price(request.json()))
         metrics, source = await self.price(cell)
         payload = {"request": request_to_json(cell),
                    "metrics": metrics_to_json(metrics),
@@ -302,7 +341,7 @@ class ServeApp:
     async def _post_simulate(self, request: HttpRequest
                              ) -> Tuple[int, object]:
         """Price one cell plus its ``push`` baseline (CLI parity)."""
-        cell = parse_price(request.json())
+        cell = self._resolve(parse_price(request.json()))
         baseline_cell = parse_price({
             "app": cell.app, "scheme": "push", "dataset": cell.dataset,
             "preprocessing": cell.preprocessing})
@@ -319,7 +358,7 @@ class ServeApp:
 
     async def _post_sweep(self, request: HttpRequest
                           ) -> Tuple[int, object]:
-        cells = parse_sweep(request.json())
+        cells = [self._resolve(c) for c in parse_sweep(request.json())]
         if len(cells) > MAX_SWEEP_CELLS:
             raise ProtocolError(
                 f"sweep expands to {len(cells)} cells, over the "
@@ -334,6 +373,45 @@ class ServeApp:
                        "source": source}
                       for cell, (metrics, source)
                       in zip(cells, results)],
+        }
+
+    async def _post_delta(self, request: HttpRequest
+                          ) -> Tuple[int, object]:
+        """Apply a graph delta; the mutated dataset gets a new version.
+
+        The response names the versioned dataset
+        (``base@version``) — subsequent ``/price`` calls naming the
+        bare dataset follow this new head automatically, and explicit
+        versions keep addressing their own instance.
+        """
+        dataset, delta = parse_delta(request.json())
+        if self.store_config.root is None \
+                and self.backend.name == "process":
+            raise ProtocolError(
+                "graph deltas need an on-disk store when compute runs "
+                "in worker processes (start the server with a cache "
+                "dir so mutated graphs publish to the shared graph "
+                "store)", status=409)
+        from repro.graph.datasets import apply_delta
+        with TRACER.span("serve.delta", dataset=dataset,
+                         changes=delta.num_changes):
+            try:
+                handle = await self._in_pool(
+                    apply_delta, dataset, delta, self.scale)
+            except KeyError as exc:
+                raise ProtocolError(str(exc)) from exc
+        self.deltas += 1
+        return 200, {
+            "dataset": handle.versioned_name,
+            "base": handle.name,
+            "version": handle.version,
+            "scale": self.scale,
+            "insertions": int(delta.insertions.shape[0]),
+            "deletions": int(delta.deletions.shape[0]),
+            "touched_rows": int(delta.touched_rows().size),
+            "lineage_depth": len(handle.deltas),
+            "num_vertices": handle.graph.num_vertices,
+            "num_edges": handle.graph.num_edges,
         }
 
     async def _get_healthz(self, _request: HttpRequest
@@ -380,6 +458,7 @@ class ServeApp:
             "requests": dict(self.requests),
             "responses": {str(k): v for k, v in self.responses.items()},
             "computes": self.computes,
+            "deltas": self.deltas,
             "errors": self.errors,
             "in_flight": self._active,
             "draining": self.draining,

@@ -11,7 +11,7 @@ groups across requests).  The backend decides what executes them:
              with I/O overlap, not cores.
 ``process``  a ``ProcessPoolExecutor`` over the PR-1 jobs pool
              machinery: each worker process memoizes its own stage
-             pricer per (scale, system, cache root) — all reading
+             pricer per (scale, system, store config) — all reading
              through one content-addressed artifact store — groups
              shard across workers, and the
              GIL stops being the ceiling.  Tracing stays coherent via
@@ -36,6 +36,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional
 
 from repro.config import SystemConfig
+from repro.jobs.cache import StoreConfig
 from repro.jobs.executor import (
     JobOutcome,
     PoolTraceSession,
@@ -54,7 +55,7 @@ class ComputeBackend:
 
     async def run_group(self, scale: int, system: Optional[SystemConfig],
                         profile: JobSpec, prices: List[JobSpec],
-                        cache_root: Optional[str] = None
+                        store: Optional[StoreConfig] = None
                         ) -> List[JobOutcome]:
         raise NotImplementedError
 
@@ -89,23 +90,23 @@ class ThreadBackend(ComputeBackend):
 
     def _run_locked(self, scale: int, system: Optional[SystemConfig],
                     profile: JobSpec, prices: List[JobSpec],
-                    cache_root: Optional[str]) -> List[JobOutcome]:
+                    store: Optional[StoreConfig]) -> List[JobOutcome]:
         # Same-profile dispatches serialize so the in-process pricer's
         # profile bundle is built exactly once per profile.
         with self._profile_lock(profile.job_id):
             return execute_group(scale, system, profile, prices,
-                                 cache_root)
+                                 store)
 
     async def run_group(self, scale: int, system: Optional[SystemConfig],
                         profile: JobSpec, prices: List[JobSpec],
-                        cache_root: Optional[str] = None
+                        store: Optional[StoreConfig] = None
                         ) -> List[JobOutcome]:
         self.dispatches += 1
         ctx = contextvars.copy_context()
         return await asyncio.get_running_loop().run_in_executor(
             self._pool,
             lambda: ctx.run(self._run_locked, scale, system, profile,
-                            prices, cache_root))
+                            prices, store))
 
     def stats(self) -> Dict[str, object]:
         return {"name": self.name, "workers": self.workers,
@@ -160,27 +161,27 @@ class ProcessBackend(ComputeBackend):
     async def _run_fallback(self, scale: int,
                             system: Optional[SystemConfig],
                             profile: JobSpec, prices: List[JobSpec],
-                            cache_root: Optional[str] = None
+                            store: Optional[StoreConfig] = None
                             ) -> List[JobOutcome]:
         self.fallbacks += 1
         ctx = contextvars.copy_context()
         return await asyncio.get_running_loop().run_in_executor(
             self._fallback_pool,
             lambda: ctx.run(execute_group, scale, system, profile,
-                            prices, cache_root))
+                            prices, store))
 
     async def run_group(self, scale: int, system: Optional[SystemConfig],
                         profile: JobSpec, prices: List[JobSpec],
-                        cache_root: Optional[str] = None
+                        store: Optional[StoreConfig] = None
                         ) -> List[JobOutcome]:
         self.dispatches += 1
         if self._pool is None:
             return await self._run_fallback(scale, system, profile,
-                                            prices, cache_root)
+                                            prices, store)
         start = time.monotonic()
         try:
             future = self._pool.submit(execute_group, scale, system,
-                                       profile, prices, cache_root)
+                                       profile, prices, store)
             outcomes = await asyncio.wrap_future(future)
         except asyncio.CancelledError:
             raise
@@ -188,7 +189,7 @@ class ProcessBackend(ComputeBackend):
             # Broken pool, unpicklable payload, dead worker: serve the
             # group in-process rather than failing the whole batch.
             return await self._run_fallback(scale, system, profile,
-                                            prices, cache_root)
+                                            prices, store)
         self._trace.record_dispatch(profile, start, 1)
         return outcomes
 

@@ -30,6 +30,13 @@ PRICE_KEYS = {"app", "scheme", "dataset", "preprocessing", "parts",
 SWEEP_KEYS = {"app", "apps", "scheme", "schemes", "dataset", "datasets",
               "preprocessing"}
 
+#: Keys a graph-delta body may carry.
+DELTA_KEYS = {"dataset", "insertions", "deletions", "insert_values"}
+
+#: Edge mutations one ``/graph/delta`` body may carry.  Bulk rebuilds
+#: belong in batch tooling, not one HTTP request.
+MAX_DELTA_EDGES = 100_000
+
 
 class ProtocolError(Exception):
     """A semantically invalid request body, mapped to HTTP 400."""
@@ -60,8 +67,23 @@ def _app(value: object) -> str:
 
 
 def _dataset(value: object) -> str:
-    from repro.graph.datasets import DATASETS
-    return _valid_name("dataset", value, DATASETS)
+    """A dataset name, possibly versioned (``base@version``).
+
+    The base must exist in the registry here; whether an explicit
+    version tag resolves is checked by the app (which knows the scale)
+    so the error can still be a 400, not a compute-side 500.
+    """
+    from repro.graph.datasets import DATASETS, split_version
+    if not isinstance(value, str):
+        raise ProtocolError(f"unknown dataset {value!r}; valid: "
+                            f"{', '.join(sorted(DATASETS))}")
+    base, version = split_version(value)
+    _valid_name("dataset", base, DATASETS)
+    # ``split_version`` maps a trailing bare separator ("ukl@") to no
+    # version; that spelling is a typo, not a head reference.
+    if value != base and not (version or "").strip():
+        raise ProtocolError(f"malformed dataset version {value!r}")
+    return value
 
 
 def _preprocessing(value: object) -> str:
@@ -154,6 +176,72 @@ def parse_sweep(payload: object) -> List[RunRequest]:
                     seen.add(request)
                     requests.append(request)
     return requests
+
+
+def parse_delta(payload: object):
+    """Normalize one ``/graph/delta`` body to (dataset, GraphDelta).
+
+    ``dataset`` may be a bare name (mutates the current head) or an
+    explicit ``base@version`` (branches from that version).
+    ``insertions``/``deletions`` are ``[[src, dst], ...]`` edge lists;
+    ``insert_values`` optionally carries one numeric value per
+    insertion for valued graphs.
+    """
+    from repro.graph.delta import GraphDelta
+    body = _require_object(payload)
+    unknown = set(body) - DELTA_KEYS
+    if unknown:
+        raise ProtocolError(f"unknown field(s) "
+                            f"{', '.join(sorted(unknown))}; valid: "
+                            f"{', '.join(sorted(DELTA_KEYS))}")
+    if "dataset" not in body:
+        raise ProtocolError("missing required field 'dataset'")
+    dataset = _dataset(body["dataset"])
+
+    def edge_list(name: str) -> List[List[int]]:
+        edges = body.get(name, [])
+        if not isinstance(edges, list):
+            raise ProtocolError(f"{name} must be a list of "
+                                f"[src, dst] pairs")
+        for edge in edges:
+            if (not isinstance(edge, list) or len(edge) != 2
+                    or not all(isinstance(v, int) and not
+                               isinstance(v, bool) for v in edge)):
+                raise ProtocolError(f"{name} must be a list of "
+                                    f"[src, dst] integer pairs")
+            if any(v < 0 for v in edge):
+                raise ProtocolError(f"{name} contains a negative "
+                                    f"vertex id")
+        return edges
+
+    insertions = edge_list("insertions")
+    deletions = edge_list("deletions")
+    total = len(insertions) + len(deletions)
+    if total == 0:
+        raise ProtocolError("delta is empty: give insertions and/or "
+                            "deletions")
+    if total > MAX_DELTA_EDGES:
+        raise ProtocolError(
+            f"delta carries {total} edge mutations, over the "
+            f"{MAX_DELTA_EDGES}-edge limit; split the update")
+    insert_values = body.get("insert_values")
+    if insert_values is not None:
+        if (not isinstance(insert_values, list)
+                or len(insert_values) != len(insertions)
+                or not all(isinstance(v, (int, float))
+                           and not isinstance(v, bool)
+                           for v in insert_values)):
+            raise ProtocolError("insert_values must be a list of "
+                                "numbers, one per insertion")
+    try:
+        delta = GraphDelta.of(insertions, deletions,
+                              insert_values=insert_values)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    if delta.empty:
+        raise ProtocolError("delta is empty after canonicalization "
+                            "(self-loops are dropped)")
+    return dataset, delta
 
 
 def request_to_json(request: RunRequest) -> Dict[str, object]:

@@ -28,11 +28,16 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.jobs.cache import NullCache, ResultCache
+from repro.jobs.cache import (
+    DEFAULT_HOT_CAPACITY,
+    NullCache,
+    ResultCache,
+    StoreConfig,
+)
 
-#: Default hot-tier bound (entries, not bytes: RunMetrics records are
-#: a few hundred bytes each).
-DEFAULT_HOT_CAPACITY = 1024
+# DEFAULT_HOT_CAPACITY (entries, not bytes: RunMetrics records are a
+# few hundred bytes each) lives in repro.jobs.cache with the rest of
+# StoreConfig's defaults; re-exported here for compatibility.
 
 #: Absence sentinel: the hot tier may legitimately cache falsy values
 #: (``None``, ``0``, ``{}``), so presence checks can never be value
@@ -57,6 +62,12 @@ class TieredStore:
         self.misses = 0
         self.evictions = 0
         self.promotions = 0
+
+    @classmethod
+    def from_config(cls, config: StoreConfig) -> "TieredStore":
+        """The serving store one :class:`StoreConfig` describes."""
+        return cls(disk=config.result_cache(),
+                   hot_capacity=config.hot_capacity)
 
     # -- cache interface (jobs-layer compatible) ---------------------------
 

@@ -8,8 +8,10 @@ artifact digests, stage-relevant config slice).  See docs/PIPELINE.md.
 
 from repro.stages.artifacts import (
     CompressArtifact,
+    PartitionIterationStreams,
     ReplayArtifact,
     StreamArtifact,
+    StreamPartition,
 )
 from repro.stages.pipeline import (
     ProfileBundle,
@@ -20,10 +22,12 @@ from repro.stages.pipeline import (
 
 __all__ = [
     "CompressArtifact",
+    "PartitionIterationStreams",
     "ProfileBundle",
     "ReplayArtifact",
     "StagePricer",
     "StreamArtifact",
+    "StreamPartition",
     "reset_stage_counters",
     "stage_counters",
 ]

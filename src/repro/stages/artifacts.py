@@ -64,6 +64,39 @@ class IterationStreams:
 
 
 @dataclass
+class PartitionIterationStreams:
+    """One iteration's slice of one vertex-range stream partition.
+
+    Only *row-content-derived* data lives here: the gathered
+    destination ids of the partition's active sources.  Everything else
+    — source arrays, value payloads, line footprints, the all-active
+    shortcuts — is recomputed at stitch time through the same code path
+    as whole-graph generation, because those quantities depend on
+    global facts (absolute row phases, total counts) that an edge delta
+    *outside* this partition can shift.  Keeping partitions
+    phase-independent is what lets a small delta reuse every untouched
+    partition (see ``stages/streams.py``).
+    """
+
+    num_sources: int
+    num_edges: int
+    #: Gathered neighbour rows of the partition's sources; empty when
+    #: the iteration is globally all-active (the stitcher then reuses
+    #: the whole neighbours array, like the whole-graph generator).
+    dsts: np.ndarray
+
+
+@dataclass
+class StreamPartition:
+    """Stage-1 partition artifact: one vertex range's stream slices,
+    content-addressed independently of every other partition."""
+
+    lo: int
+    hi: int
+    iterations: List[PartitionIterationStreams]
+
+
+@dataclass
 class StreamArtifact:
     """Stage 1 output: per-workload streams (config-independent)."""
 

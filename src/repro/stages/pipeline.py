@@ -21,7 +21,6 @@ and ``repro serve``'s ``/stats``) and traced as ``stage.<name>.hit`` /
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from collections import Counter
@@ -30,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.graph.datasets import DEFAULT_SCALE
-from repro.jobs.cache import NullCache
+from repro.jobs.cache import NullCache, StoreConfig
 from repro.jobs.fingerprint import (
     artifact_digest,
     stage_config_slice,
@@ -97,18 +96,23 @@ class StagePricer:
 
     def __init__(self, scale: int = DEFAULT_SCALE,
                  system: Optional[SystemConfig] = None,
-                 cache=None) -> None:
+                 cache=None,
+                 store: Optional[StoreConfig] = None) -> None:
         self.scale = scale
         self.system = system if system is not None \
             else SystemConfig().scaled(scale)
-        self.cache = cache if cache is not None else NullCache()
-        # An on-disk cache root also hosts the shared graph store:
-        # every worker process pointed at this root memory-maps one
-        # copy of each generated graph instead of regenerating it.
-        root = getattr(self.cache, "root", None)
-        if root:
-            from repro.graph.shared import enable_graph_store
-            enable_graph_store(os.path.join(root, "graphs"))
+        # One StoreConfig describes every store this pricer touches;
+        # a bare ``cache=`` adopts that cache's root (compat path).
+        if store is None:
+            store = StoreConfig.from_cache(
+                cache if cache is not None else NullCache())
+        self.store = store
+        self.partitions = max(1, store.stream_partitions)
+        self.cache = cache if cache is not None else store.result_cache()
+        # An on-disk root also hosts the shared graph store: every
+        # worker process pointed at this root memory-maps one copy of
+        # each generated graph instead of regenerating it.
+        store.activate_graph_store()
         self._bundles: Dict[Tuple[str, str, str], ProfileBundle] = {}
         self._metrics: Dict[str, RunMetrics] = {}
         self._lock = threading.RLock()
@@ -129,6 +133,22 @@ class StagePricer:
         self.cache.put(key, value)
         _count(f"{stage}.computed")
         return value
+
+    def _fetch_partition(self, key: str, build):
+        """Per-partition cache hook of the partitioned stream stage.
+
+        Consulted only on a whole-stream-key miss (the warm-identical
+        fast path never assembles partitions); a graph delta then hits
+        every partition whose rows and active sources are unchanged.
+        """
+        part = self.cache.get(key)
+        if part is not None:
+            _count("stream.partition.hit")
+            return part
+        part = build()
+        self.cache.put(key, part)
+        _count("stream.partition.computed")
+        return part
 
     def _workload(self, app: str, dataset: str, preprocessing: str):
         # Mirrors Runner.workload (including the self-contained "sp"
@@ -162,7 +182,8 @@ class StagePricer:
         stream: StreamArtifact = self._evaluate(
             "stream", stream_key,
             lambda: _generate(self._workload(app, dataset,
-                                             preprocessing)),
+                                             preprocessing),
+                              self.partitions, self._fetch_partition),
             **labels)
         stream_digest = artifact_digest(stream)
 
@@ -247,8 +268,14 @@ class StagePricer:
         return stage_counters()
 
 
-def _generate(workload) -> StreamArtifact:
-    from repro.stages.streams import generate_streams
+def _generate(workload, partitions: int = 1,
+              fetch=None) -> StreamArtifact:
+    from repro.stages.streams import (
+        generate_streams,
+        generate_streams_partitioned,
+    )
+    if partitions > 1:
+        return generate_streams_partitioned(workload, partitions, fetch)
     return generate_streams(workload)
 
 

@@ -10,12 +10,44 @@ The quantities mirror :func:`repro.runtime.traffic._profile_iteration`'s
 opening section exactly; the randomized parity suite
 (``tests/test_stages_parity.py``) holds the staged path bit-identical to
 the monolithic profiler.
+
+Partitioned generation
+----------------------
+
+:func:`generate_streams_partitioned` splits the stage into K
+vertex-range partitions, each content-addressed independently, so a
+graph delta recomputes only the partitions whose rows or active sources
+changed — see ``docs/DYNAMIC_GRAPHS.md``.  Two decisions make the
+stitched artifact bit-identical to whole-graph generation by
+construction:
+
+* a partition stores only *row-content-derived* data (the gathered
+  destination-id slice).  Line footprints depend on absolute row
+  phases, which an edge delta in an *earlier* partition shifts even
+  when this partition's rows are untouched; they are therefore
+  recomputed at stitch time through the very same
+  ``_row_line_bytes`` / ``_scattered_line_bytes`` calls the whole-graph
+  path makes, as are all count-based quantities and the global
+  all-active shortcuts;
+* a partition's cache key hashes its actual inputs — the rows in
+  ``[lo, hi)`` (offsets relative to the range start, so upstream edge
+  shifts don't rotate it) plus each iteration's active-source slice —
+  making the key self-validating for every app.
+
+Whole-graph generation (:func:`generate_streams`) is the K=1 special
+case and remains the parity oracle; ``tests/test_stream_partitions.py``
+holds the two digest-identical across apps, datasets, and K.
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
+from typing import Callable, List, Optional
+
 import numpy as np
 
+from repro.jobs.fingerprint import stream_partition_fingerprint
 from repro.runtime.traffic import (
     _ceil_lines,
     _row_line_bytes,
@@ -23,12 +55,126 @@ from repro.runtime.traffic import (
     _transpose_of,
     gather_rows,
 )
+from repro.runtime.traffic_array import (
+    partition_bounds,
+    partition_gather_stream,
+)
 from repro.runtime.workload import Workload
-from repro.stages.artifacts import IterationStreams, StreamArtifact
+from repro.stages.artifacts import (
+    IterationStreams,
+    PartitionIterationStreams,
+    StreamArtifact,
+    StreamPartition,
+)
+
+#: fetch(key, build) -> StreamPartition: the per-partition cache hook.
+PartitionFetch = Callable[[str, Callable[[], StreamPartition]],
+                          StreamPartition]
 
 
 def generate_streams(workload: Workload) -> StreamArtifact:
     """Record every raw stream the strategies will price."""
+    return _generate_impl(workload, None)
+
+
+def generate_streams_partitioned(
+        workload: Workload, partitions: int,
+        fetch: Optional[PartitionFetch] = None) -> StreamArtifact:
+    """K-partition stream generation, bit-identical to
+    :func:`generate_streams`.
+
+    ``fetch`` mediates the per-partition content-addressed cache
+    (:class:`~repro.stages.pipeline.StagePricer` wires it to the result
+    cache and the ``stream.partition.hit/computed`` counters); ``None``
+    always computes.  Falls back to whole-graph generation when the
+    range split cannot apply (K=1 with no cache, or an iteration whose
+    active sources are not ascending).
+    """
+    graph = workload.graph
+    degrees = graph.out_degrees()
+    num_vertices = graph.num_vertices
+    bounds = partition_bounds(num_vertices, partitions)
+
+    contexts = []
+    sliceable = True
+    for it in workload.iterations:
+        sources = it.sources
+        if sources.size and np.any(np.diff(sources) < 0):
+            sliceable = False
+            break
+        contexts.append((sources, sources.size >= num_vertices))
+    if not sliceable or (len(bounds) == 1 and fetch is None):
+        return _generate_impl(workload, None)
+
+    parts: List[StreamPartition] = []
+    for lo, hi in bounds:
+        slices = []
+        for sources, all_active in contexts:
+            i0, i1 = np.searchsorted(sources, (lo, hi))
+            slices.append((sources[i0:i1], all_active))
+        digest = _partition_payload_digest(graph, lo, hi, slices)
+        key = stream_partition_fingerprint(lo, hi, digest)
+
+        def build(lo=lo, hi=hi, slices=slices) -> StreamPartition:
+            return _build_partition(graph, degrees, lo, hi, slices)
+
+        parts.append(fetch(key, build) if fetch is not None else build())
+
+    dsts_override = []
+    for index, (sources, all_active) in enumerate(contexts):
+        if all_active:
+            dsts_override.append(graph.neighbors)
+        else:
+            dsts_override.append(np.concatenate(
+                [part.iterations[index].dsts for part in parts]))
+    return _generate_impl(workload, dsts_override)
+
+
+def _partition_payload_digest(graph, lo: int, hi: int, slices) -> str:
+    """Digest of one partition's actual inputs.
+
+    Row offsets are hashed *relative* to the range start: an edge
+    delta in an earlier partition shifts this range's absolute
+    positions but not its content, and the partition's output (the
+    gathered row slice) depends only on content — so untouched
+    partitions keep their keys.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    offsets = graph.offsets
+    digest.update(struct.pack("<qqq", lo, hi, graph.num_vertices))
+    digest.update(np.ascontiguousarray(
+        offsets[lo:hi + 1] - offsets[lo]).tobytes())
+    digest.update(np.ascontiguousarray(
+        graph.neighbors[offsets[lo]:offsets[hi]]).tobytes())
+    for sources, all_active in slices:
+        digest.update(struct.pack("<?q", bool(all_active), sources.size))
+        digest.update(str(sources.dtype).encode())
+        digest.update(np.ascontiguousarray(sources).tobytes())
+    return digest.hexdigest()
+
+
+def _build_partition(graph, degrees, lo: int, hi: int,
+                     slices) -> StreamPartition:
+    iterations = []
+    for sources, all_active in slices:
+        num_edges = int(degrees[sources].sum())
+        if all_active:
+            # The stitcher reuses the whole neighbours array, exactly
+            # like the whole-graph generator's all-active shortcut.
+            dsts = np.empty(0, dtype=graph.neighbors.dtype)
+        else:
+            dsts = partition_gather_stream(
+                graph.offsets, graph.neighbors, degrees, sources)
+        iterations.append(PartitionIterationStreams(
+            num_sources=int(sources.size),
+            num_edges=num_edges,
+            dsts=dsts))
+    return StreamPartition(lo=lo, hi=hi, iterations=iterations)
+
+
+def _generate_impl(workload: Workload,
+                   dsts_override: Optional[List[np.ndarray]]
+                   ) -> StreamArtifact:
     graph = workload.graph
     degrees = graph.out_degrees()
     num_vertices = graph.num_vertices
@@ -50,7 +196,7 @@ def generate_streams(workload: Workload) -> StreamArtifact:
         pull_adj_bytes = 0
 
     iterations = []
-    for it in workload.iterations:
+    for index, it in enumerate(workload.iterations):
         sources = it.sources
         all_active = sources.size >= num_vertices
         active_degrees = degrees[sources]
@@ -61,7 +207,8 @@ def generate_streams(workload: Workload) -> StreamArtifact:
         else:
             offsets_bytes = _scattered_line_bytes(sources, 8)
         neigh_bytes = _row_line_bytes(graph, sources)
-        dsts = gather_rows(graph, sources)
+        dsts = dsts_override[index] if dsts_override is not None \
+            else gather_rows(graph, sources)
 
         edge_values = workload.extras.get("edge_values")
         edge_value_bytes = _ceil_lines(

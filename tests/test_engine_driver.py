@@ -127,25 +127,28 @@ class TestDrive:
         assert result.skipped_idle_cycles == 0
 
 
-class TestDeprecatedShim:
-    """drive(engine, feeds=..., consume=...) must keep working."""
+class TestRemovedShim:
+    """The pre-typed keyword form is gone: DriveRequest or TypeError."""
 
-    def test_keyword_form_warns_and_matches(self):
-        new = drive(tiny_fetcher(), DriveRequest(
-            feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-            consume=[ROWS_QUEUE], dequeues_per_cycle=1))
-        with pytest.warns(DeprecationWarning):
-            old = drive(tiny_fetcher(),
-                        feeds={INPUT_QUEUE: [pack_range(0, 5)]},
-                        consume=[ROWS_QUEUE], dequeues_per_cycle=1)
-        assert old.cycles == new.cycles
-        assert old.outputs == new.outputs
+    def test_keyword_form_raises_type_error(self):
+        # The legacy keyword parameters no longer exist, so the call
+        # signature itself rejects them.
+        with pytest.raises(TypeError):
+            drive(tiny_fetcher(),
+                  feeds={INPUT_QUEUE: [pack_range(0, 5)]},
+                  consume=[ROWS_QUEUE], dequeues_per_cycle=1)
 
-    def test_positional_feeds_dict_still_accepted(self):
-        with pytest.warns(DeprecationWarning):
-            old = drive(tiny_fetcher(),
-                        {INPUT_QUEUE: [pack_range(0, 5)]}, [ROWS_QUEUE])
-        assert old.chunks(ROWS_QUEUE) == [[1, 2], [0, 2], [3], [1, 2]]
+    def test_positional_feeds_dict_raises_type_error(self):
+        with pytest.raises(TypeError, match="DriveRequest"):
+            drive(tiny_fetcher(), {INPUT_QUEUE: [pack_range(0, 5)]})
+        # The old three-argument spelling fails on arity alone.
+        with pytest.raises(TypeError):
+            drive(tiny_fetcher(),
+                  {INPUT_QUEUE: [pack_range(0, 5)]}, [ROWS_QUEUE])
+
+    def test_missing_request_raises_type_error(self):
+        with pytest.raises(TypeError):
+            drive(tiny_fetcher())
 
     def test_request_form_does_not_warn(self):
         with warnings.catch_warnings():

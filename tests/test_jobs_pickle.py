@@ -167,3 +167,86 @@ class TestSharedGraphStore:
         # Released mappings stay readable while referenced.
         assert graph.num_vertices > 0
         assert int(graph.offsets[-1]) == graph.neighbors.size
+
+    def test_release_then_repickle_remaps(self, graph_store):
+        """release() is not an invalidation: the next pickle of a
+        store-published graph still ships paths and resolves."""
+        from repro.graph.datasets import load
+        graph = load("arb", SCALE)
+        first = pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
+        shared.release_graphs()
+        assert graph_store.open_segments == 0
+        second = pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(second) < 1024
+        clone = pickle.loads(second)
+        assert clone.content_digest() == graph.content_digest()
+        assert pickle.loads(first).content_digest() == \
+            graph.content_digest()
+
+    def test_stale_root_republishes_under_new_store(self, tmp_path,
+                                                    runner):
+        """A graph memoized under a store root that is later replaced
+        (or deleted) must re-publish under the new root, not hand
+        workers dangling paths."""
+        import os
+        import shutil
+        from repro.graph.datasets import clear_cache
+        clear_cache()
+        store_a = shared.enable_graph_store(str(tmp_path / "a"))
+        try:
+            workload = runner.workload("dc", "arb")
+            graph = workload.graph
+            pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
+            paths_a = graph._store_paths
+            assert os.path.dirname(paths_a[0]) == store_a.root
+            # Swap roots and delete the old one outright: the memoized
+            # paths now point at nothing.
+            shared.disable_graph_store()
+            store_b = shared.enable_graph_store(str(tmp_path / "b"))
+            shutil.rmtree(store_a.root)
+            payload = pickle.dumps(graph,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            assert os.path.dirname(graph._store_paths[0]) == \
+                store_b.root
+            clone = pickle.loads(payload)
+            assert clone.content_digest() == graph.content_digest()
+        finally:
+            shared.disable_graph_store()
+            clear_cache()
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_delta_rotates_digest_mid_pool(self, graph_store, method):
+        """A graph delta applied while a pool is live publishes the
+        mutated instance under a fresh digest; in-flight workers keep
+        resolving the base and new submissions see the mutation."""
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{method} start method unavailable")
+        from repro.graph.datasets import apply_delta, load
+        from repro.graph.delta import sample_delta
+        base = load("ukl", SCALE)
+        base_payload = pickle.dumps(base,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            ctx = multiprocessing.get_context(method)
+            with ctx.Pool(1) as pool:
+                assert pool.apply(shared.graph_digest_of_payload,
+                                  (base_payload,)) == \
+                    base.content_digest()
+                # Mid-pool mutation: the head rotates, the base does
+                # not move.
+                handle = apply_delta(
+                    "ukl", sample_delta(base, seed=5, insertions=6,
+                                        deletions=6), SCALE)
+                assert handle.graph.content_digest() != \
+                    base.content_digest()
+                mut_payload = pickle.dumps(
+                    handle.graph, protocol=pickle.HIGHEST_PROTOCOL)
+                assert pool.apply(shared.graph_digest_of_payload,
+                                  (mut_payload,)) == \
+                    handle.graph.content_digest()
+                # The worker still resolves the base identity too.
+                assert pool.apply(shared.graph_digest_of_payload,
+                                  (base_payload,)) == \
+                    base.content_digest()
+        except (OSError, ValueError) as exc:
+            pytest.skip(f"process pool unavailable: {exc!r}")

@@ -545,6 +545,113 @@ class TestEndpoints:
 
 
 # ---------------------------------------------------------------------------
+# Dynamic graphs over the wire
+# ---------------------------------------------------------------------------
+
+class TestGraphDelta:
+    @pytest.fixture(autouse=True)
+    def clean_graph_registry(self):
+        from repro.graph import shared
+        from repro.graph.datasets import clear_cache
+        clear_cache()
+        yield
+        shared.disable_graph_store()
+        clear_cache()
+
+    DELTA = {"dataset": "ukl",
+             "insertions": [[0, 9], [4, 2]],
+             "deletions": [[0, 1]]}
+
+    def test_delta_versions_dataset_and_bare_name_follows_head(
+            self, tmp_path):
+        async def go(app, server):
+            status, body = await json_request(server, "POST",
+                                              "/graph/delta",
+                                              self.DELTA)
+            assert status == 200
+            assert body["base"] == "ukl"
+            assert body["dataset"] == f"ukl@{body['version']}"
+            assert body["lineage_depth"] == 1
+            assert body["insertions"] == 2
+            assert body["deletions"] == 1
+            assert body["touched_rows"] == 2  # rows 0 and 4
+            assert body["num_vertices"] > 0
+
+            # A bare-name price is pinned to the new head *before*
+            # keying, so the explicit version then answers from the
+            # hot tier: one cell, one computation.
+            cell = {"app": "dc", "scheme": "phi", "dataset": "ukl"}
+            status, bare = await json_request(server, "POST",
+                                              "/price", cell)
+            assert status == 200
+            assert bare["source"] == "computed"
+            assert bare["request"]["dataset"] == body["dataset"]
+            status, pinned = await json_request(
+                server, "POST", "/price",
+                dict(cell, dataset=body["dataset"]))
+            assert status == 200
+            assert pinned["source"] == "hot"
+            assert pinned["metrics"] == bare["metrics"]
+
+            status, stats = await json_request(server, "GET", "/stats")
+            assert stats["deltas"] == 1
+        run(with_server(tmp_path, go))
+
+    def test_deltas_chain_and_branch_from_explicit_versions(
+            self, tmp_path):
+        async def go(app, server):
+            _status, first = await json_request(server, "POST",
+                                                "/graph/delta",
+                                                self.DELTA)
+            # Bare name: chains onto the current head.
+            _status, second = await json_request(
+                server, "POST", "/graph/delta",
+                {"dataset": "ukl", "insertions": [[7, 3]]})
+            assert second["lineage_depth"] == 2
+            # Explicit version: branches from that instance.
+            status, branch = await json_request(
+                server, "POST", "/graph/delta",
+                {"dataset": first["dataset"], "insertions": [[8, 1]]})
+            assert status == 200
+            assert branch["lineage_depth"] == 2
+            assert branch["dataset"] != second["dataset"]
+        run(with_server(tmp_path, go))
+
+    def test_unknown_version_price_is_400(self, tmp_path):
+        async def go(app, server):
+            status, body = await json_request(
+                server, "POST", "/price",
+                {"app": "dc", "scheme": "phi",
+                 "dataset": "ukl@deadbeefdeadbeef"})
+            assert status == 400
+            assert "unknown dataset version" in body["error"]
+            # Same guard on the delta endpoint (branching source).
+            status, body = await json_request(
+                server, "POST", "/graph/delta",
+                {"dataset": "ukl@deadbeefdeadbeef",
+                 "insertions": [[0, 1]]})
+            assert status == 400
+        run(with_server(tmp_path, go))
+
+    def test_rootless_process_backend_refuses_deltas(self, tmp_path):
+        """Worker processes can only see a mutation through the shared
+        graph store; with no on-disk root that is impossible: 409."""
+        async def go():
+            app = ServeApp(scale=SCALE, store=TieredStore(),
+                           backend="process", workers=1)
+            server = await ServeServer(app, "127.0.0.1", 0).start()
+            try:
+                status, body = await json_request(server, "POST",
+                                                  "/graph/delta",
+                                                  self.DELTA)
+                assert status == 409
+                assert "on-disk store" in body["error"]
+            finally:
+                await server.shutdown(drain_timeout=5.0)
+        run(go())
+
+
+# ---------------------------------------------------------------------------
 # Graceful shutdown
 # ---------------------------------------------------------------------------
 

@@ -269,9 +269,9 @@ class TestAppBatching:
         original = app.backend.run_group
 
         async def sabotage(scale, system, profile, prices,
-                           cache_root=None):
+                           store=None):
             outcomes = await original(scale, system, profile, prices,
-                                      cache_root=cache_root)
+                                      store=store)
             return [(job_id, None, wall, pid, "boom")
                     if job_id == bad_id else
                     (job_id, metrics, wall, pid, error)

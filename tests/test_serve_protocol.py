@@ -125,6 +125,75 @@ class TestParseSweep:
                          "dataset": "arb", "parts": ["adjacency"]})
 
 
+class TestParseDelta:
+    def test_minimal_body_normalizes(self):
+        from repro.serve.protocol import parse_delta
+        dataset, delta = parse_delta(
+            {"dataset": "ukl", "insertions": [[2, 3], [0, 1]],
+             "deletions": [[4, 5]]})
+        assert dataset == "ukl"
+        assert delta.insertions.tolist() == [[0, 1], [2, 3]]
+        assert delta.deletions.tolist() == [[4, 5]]
+
+    def test_versioned_dataset_name_accepted(self):
+        from repro.serve.protocol import parse_delta
+        dataset, _delta = parse_delta(
+            {"dataset": "ukl@0123abcd", "insertions": [[0, 1]]})
+        assert dataset == "ukl@0123abcd"
+
+    def test_versioned_name_accepted_by_price_too(self):
+        cell = parse_price({"app": "dc", "scheme": "phi",
+                            "dataset": "ukl@0123abcd"})
+        assert cell.dataset == "ukl@0123abcd"
+        with pytest.raises(ProtocolError):
+            parse_price({"app": "dc", "scheme": "phi",
+                         "dataset": "nope@0123abcd"})
+        with pytest.raises(ProtocolError, match="malformed"):
+            parse_price({"app": "dc", "scheme": "phi",
+                         "dataset": "ukl@"})
+
+    def test_insert_values_validated(self):
+        from repro.serve.protocol import parse_delta
+        _d, delta = parse_delta(
+            {"dataset": "ukl", "insertions": [[0, 1]],
+             "insert_values": [2.5]})
+        assert delta.insert_values is not None
+        with pytest.raises(ProtocolError, match="one per insertion"):
+            parse_delta({"dataset": "ukl", "insertions": [[0, 1]],
+                         "insert_values": [1.0, 2.0]})
+        with pytest.raises(ProtocolError, match="one per insertion"):
+            parse_delta({"dataset": "ukl", "insertions": [[0, 1]],
+                         "insert_values": [True]})
+
+    def test_malformed_edges_rejected(self):
+        from repro.serve.protocol import parse_delta
+        for bad in ([[0, 1, 2]], [[0]], [0, 1], [[0, "1"]],
+                    [[0, True]], [[-1, 2]]):
+            with pytest.raises(ProtocolError):
+                parse_delta({"dataset": "ukl", "insertions": bad})
+
+    def test_empty_delta_rejected(self):
+        from repro.serve.protocol import parse_delta
+        with pytest.raises(ProtocolError, match="empty"):
+            parse_delta({"dataset": "ukl"})
+        # Pure self-loops canonicalize away: still empty.
+        with pytest.raises(ProtocolError, match="empty"):
+            parse_delta({"dataset": "ukl", "insertions": [[3, 3]]})
+
+    def test_oversized_delta_rejected(self):
+        from repro.serve.protocol import MAX_DELTA_EDGES, parse_delta
+        edges = [[0, i] for i in range(MAX_DELTA_EDGES + 1)]
+        with pytest.raises(ProtocolError, match="limit"):
+            parse_delta({"dataset": "ukl", "insertions": edges})
+
+    def test_unknown_field_rejected_with_menu(self):
+        from repro.serve.protocol import parse_delta
+        with pytest.raises(ProtocolError) as info:
+            parse_delta({"dataset": "ukl", "inserts": [[0, 1]]})
+        assert "inserts" in str(info.value)
+        assert "insertions" in str(info.value)
+
+
 class TestWireForms:
     def test_request_to_json_carries_cell_description(self):
         request = canonical_request("dc", "phi+spzip", "arb")

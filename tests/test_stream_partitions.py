@@ -1,0 +1,185 @@
+"""Partitioned stream stage: bit-parity with the whole-graph oracle,
+partition-key stability under graph deltas.
+
+Two properties carry the whole design (see ``docs/DYNAMIC_GRAPHS.md``):
+
+1. **Stitch parity** — for every app and every K, the artifact stitched
+   from K partitions has the *same content digest* as whole-graph
+   generation.  Not approximately: byte for byte, because downstream
+   stage keys chain on this digest.
+2. **Key stability** — a partition's cache key hashes its row content
+   with *relative* offsets, so a delta confined to a few rows leaves
+   every untouched partition's key (and cached payload) valid even
+   though absolute edge positions shifted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_workload
+from repro.graph.datasets import clear_cache, load
+from repro.graph.delta import sample_delta
+from repro.jobs.fingerprint import artifact_digest
+from repro.runtime.traffic_array import partition_bounds
+from repro.runtime.workload import Iteration, Workload
+from repro.stages.streams import (
+    generate_streams,
+    generate_streams_partitioned,
+)
+
+SCALE = 65536
+APPS = ("pr", "prd", "cc", "re", "dc", "bfs", "sp")
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def workload_for(app, dataset="ukl"):
+    if app == "sp":
+        return build_workload("sp", scale=SCALE)
+    return build_workload(app, graph=load(dataset, SCALE))
+
+
+class TestPartitionBounds:
+    def test_cover_and_alignment(self):
+        bounds = partition_bounds(595, 8)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 595
+        for (lo, hi), (nlo, _nhi) in zip(bounds, bounds[1:]):
+            assert hi == nlo
+            assert lo % 64 == 0
+        assert all(lo < hi for lo, hi in bounds)
+
+    def test_single_partition_cases(self):
+        assert partition_bounds(595, 1) == [(0, 595)]
+        assert partition_bounds(64, 8) == [(0, 64)]
+        assert partition_bounds(0, 4) == [(0, 0)]
+
+    def test_never_more_than_requested(self):
+        for vertices in (65, 128, 1000, 4096):
+            for k in (2, 3, 7, 16):
+                assert len(partition_bounds(vertices, k)) <= k
+
+
+class TestStitchParity:
+    @pytest.mark.parametrize("app", APPS)
+    @pytest.mark.parametrize("k", [2, 3, 7])
+    def test_digest_identical_to_whole_graph(self, app, k):
+        workload = workload_for(app)
+        whole = generate_streams(workload)
+        parts = generate_streams_partitioned(workload, k)
+        assert artifact_digest(parts) == artifact_digest(whole)
+
+    def test_k1_with_cache_still_partitions(self):
+        calls = {}
+
+        def fetch(key, build):
+            calls[key] = calls.get(key, 0) + 1
+            return build()
+
+        workload = workload_for("dc")
+        parts = generate_streams_partitioned(workload, 1, fetch)
+        assert len(calls) == 1
+        assert artifact_digest(parts) == \
+            artifact_digest(generate_streams(workload))
+
+    def test_matrix_dataset_parity(self):
+        workload = build_workload("dc", graph=load("nlp", SCALE))
+        assert artifact_digest(
+            generate_streams_partitioned(workload, 4)) == \
+            artifact_digest(generate_streams(workload))
+
+    def test_non_ascending_sources_fall_back(self):
+        """An iteration whose active sources are not ascending cannot
+        be range-sliced; the partitioned entry point must fall back to
+        (and agree with) whole-graph generation."""
+        graph = load("ukl", SCALE)
+        sources = np.array([5, 3, 9], dtype=np.int64)
+        workload = Workload(
+            app="synthetic", graph=graph,
+            iterations=[Iteration(
+                sources=sources,
+                src_values=np.zeros(3, dtype=np.float64),
+                update_values=np.ones(
+                    int(graph.out_degrees()[sources].sum()),
+                    dtype=np.uint32))],
+            frontier_based=True)
+        parts = generate_streams_partitioned(workload, 4)
+        assert artifact_digest(parts) == \
+            artifact_digest(generate_streams(workload))
+
+
+class TestDeltaReuse:
+    def make_fetch(self, store, counters):
+        def fetch(key, build):
+            part = store.get(key)
+            if part is not None:
+                counters["hit"] += 1
+                return part
+            part = build()
+            store[key] = part
+            counters["computed"] += 1
+            return part
+        return fetch
+
+    @pytest.mark.parametrize("app", ["dc", "pr"])
+    def test_localized_delta_reuses_untouched_partitions(self, app):
+        graph = load("ukl", SCALE)
+        k = 8
+        bounds = partition_bounds(graph.num_vertices, k)
+        store, counters = {}, {"hit": 0, "computed": 0}
+        fetch = self.make_fetch(store, counters)
+
+        base_workload = build_workload(app, graph=graph)
+        base = generate_streams_partitioned(base_workload, k, fetch)
+        assert counters == {"hit": 0, "computed": len(bounds)}
+        assert artifact_digest(base) == \
+            artifact_digest(generate_streams(base_workload))
+
+        # Mutate rows confined to the first partition only.
+        lo, hi = bounds[0]
+        delta = sample_delta(graph, seed=11, insertions=6, deletions=6,
+                             row_range=(lo, hi))
+        mutated = graph.apply(delta)
+        counters.update(hit=0, computed=0)
+        mut_workload = build_workload(app, graph=mutated)
+        stitched = generate_streams_partitioned(mut_workload, k, fetch)
+
+        # Every partition the delta didn't touch is a cache hit, even
+        # though its rows' absolute byte positions shifted.
+        assert counters["hit"] >= len(bounds) - 1
+        assert counters["computed"] <= 1
+        # And the stitched artifact is still byte-identical to a cold
+        # whole-graph generation over the mutated input.
+        assert artifact_digest(stitched) == \
+            artifact_digest(generate_streams(mut_workload))
+
+    def test_scattered_delta_still_stitches_exactly(self):
+        """Reuse degrades with scattered rows but parity never does."""
+        graph = load("ukl", SCALE)
+        store, counters = {}, {"hit": 0, "computed": 0}
+        fetch = self.make_fetch(store, counters)
+        generate_streams_partitioned(
+            build_workload("bfs", graph=graph), 5, fetch)
+        delta = sample_delta(graph, seed=23, insertions=15,
+                             deletions=15)
+        mutated = graph.apply(delta)
+        workload = build_workload("bfs", graph=mutated)
+        stitched = generate_streams_partitioned(workload, 5, fetch)
+        assert artifact_digest(stitched) == \
+            artifact_digest(generate_streams(workload))
+
+    def test_empty_delta_hits_every_partition(self):
+        graph = load("ukl", SCALE)
+        store, counters = {}, {"hit": 0, "computed": 0}
+        fetch = self.make_fetch(store, counters)
+        workload = build_workload("dc", graph=graph)
+        generate_streams_partitioned(workload, 6, fetch)
+        computed = counters["computed"]
+        counters.update(hit=0, computed=0)
+        generate_streams_partitioned(workload, 6, fetch)
+        assert counters == {"hit": computed, "computed": 0}
